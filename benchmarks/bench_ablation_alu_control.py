@@ -1,0 +1,68 @@
+"""Ablation: the ALU-aware aggressiveness extension (Section 6.4).
+
+The paper observes that RD regresses when stack SMs get 4x warp
+capacity — more than half of its offloaded instructions are ALU work
+and the stack SMs' compute pipelines become the new bottleneck — and
+proposes an ALU-ratio-aware offloading mechanism as future work. This
+repository implements that mechanism (``ControlConfig.
+alu_aware_control``); the bench quantifies what it buys on RD.
+"""
+
+import dataclasses
+
+from repro import TraceScale, WorkloadRunner, ndp_config
+from repro.core.policies import NDP_CTRL_TMAP
+from repro.core.simulator import Simulator
+
+
+def _config(alu_aware: bool):
+    cfg = ndp_config(warp_capacity_multiplier=4)
+    return dataclasses.replace(
+        cfg,
+        control=dataclasses.replace(
+            cfg.control, alu_aware_control=alu_aware, alu_fraction_threshold=0.5
+        ),
+    )
+
+
+def test_alu_aware_control_rescues_rd(benchmark):
+    def run():
+        runner = WorkloadRunner("RD", scale=TraceScale.SMALL)
+        base = runner.baseline()
+        plain = Simulator(runner.trace, _config(False), NDP_CTRL_TMAP).run()
+        aware = Simulator(runner.trace, _config(True), NDP_CTRL_TMAP).run()
+        return base, plain, aware
+
+    base, plain, aware = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_speedup = plain.speedup_over(base)
+    aware_speedup = aware.speedup_over(base)
+    print(
+        f"\nRD @ 4x warp capacity: plain ctrl {plain_speedup:.2f}x, "
+        f"ALU-aware ctrl {aware_speedup:.2f}x\n"
+        f"  plain decisions : {plain.offload.decision_breakdown}\n"
+        f"  aware decisions : {aware.offload.decision_breakdown}"
+    )
+    assert aware_speedup >= plain_speedup - 0.02, (
+        "ALU-aware control must not hurt the regression case it targets"
+    )
+    compute_refusals = aware.offload.decision_breakdown.get(
+        "stack_compute_busy", 0
+    )
+    assert compute_refusals > 0, (
+        "the ALU-aware check must actually fire on ALU-rich RD blocks"
+    )
+
+
+def test_alu_aware_control_is_no_op_for_memory_blocks(benchmark):
+    """SP's candidate is almost pure memory; the extension must leave
+    it untouched."""
+
+    def run():
+        runner = WorkloadRunner("SP", scale=TraceScale.TINY)
+        plain = Simulator(runner.trace, _config(False), NDP_CTRL_TMAP).run()
+        aware = Simulator(runner.trace, _config(True), NDP_CTRL_TMAP).run()
+        return plain, aware
+
+    plain, aware = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert aware.offload.decision_breakdown.get("stack_compute_busy", 0) == 0
+    assert abs(aware.cycles - plain.cycles) / plain.cycles < 0.05

@@ -1,0 +1,94 @@
+"""Ablation (footnote 2, Section 3.1.1): conservative vs. aggressive
+compiler assumptions for candidate selection.
+
+The paper selects candidates assuming perfect coalescing and a 50%
+load miss rate, and notes that more aggressive values identify more
+candidates without clear performance benefit. This bench sweeps the
+assumed miss rate and reports candidate counts and TOM speedups.
+"""
+
+import dataclasses
+
+from repro import TraceScale, WorkloadRunner, ndp_config
+from repro.analysis.reporting import format_table
+from repro.compiler import select_candidates
+from repro.core.policies import NDP_CTRL_BMAP
+from repro.workloads.suite import SUITE_ORDER, full_suite
+
+MISS_RATES = (0.25, 0.5, 1.0)
+
+
+def _candidate_counts(miss_rate):
+    cfg = ndp_config()
+    compiler_cfg = dataclasses.replace(
+        cfg.compiler, assumed_load_miss_rate=miss_rate
+    )
+    counts = {}
+    for model in full_suite():
+        selection = select_candidates(
+            model.build_kernel(), compiler_cfg, cfg.messages, cfg.gpu.warp_size
+        )
+        counts[model.abbr] = len(selection.candidates)
+    return counts
+
+
+def test_compiler_assumption_ablation(benchmark):
+    counts = benchmark.pedantic(
+        lambda: {rate: _candidate_counts(rate) for rate in MISS_RATES},
+        rounds=1,
+        iterations=1,
+    )
+    rows = {
+        f"miss rate {rate}": {w: float(c) for w, c in counts[rate].items()}
+        for rate in MISS_RATES
+    }
+    print()
+    print(
+        format_table(
+            "Ablation: candidate count vs. assumed load miss rate",
+            list(SUITE_ORDER),
+            rows,
+            value_format="{:.0f}",
+        )
+    )
+    conservative = counts[0.25]
+    aggressive = counts[1.0]
+    # higher assumed miss rate -> more estimated benefit -> never fewer candidates
+    for workload in SUITE_ORDER:
+        assert aggressive[workload] >= conservative[workload]
+    # every workload keeps at least one candidate under the paper's default
+    assert all(counts[0.5][w] >= 1 for w in SUITE_ORDER)
+
+
+def test_aggressive_selection_no_clear_win(benchmark):
+    """The paper's observation: aggressively-chosen candidates do not
+    clearly help. Compare TOM speedups under 0.5 and 1.0 miss-rate
+    assumptions on a representative workload pair."""
+
+    def run():
+        speedups = {}
+        for rate in (0.5, 1.0):
+            cfg = ndp_config()
+            cfg = dataclasses.replace(
+                cfg,
+                compiler=dataclasses.replace(
+                    cfg.compiler, assumed_load_miss_rate=rate
+                ),
+            )
+            for workload in ("SP", "HW"):
+                runner = WorkloadRunner(
+                    workload, scale=TraceScale.TINY, ndp_configuration=cfg
+                )
+                speedups[(workload, rate)] = runner.speedup(NDP_CTRL_BMAP)
+        return speedups
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for (workload, rate), value in sorted(speedups.items()):
+        print(f"  {workload} @ miss={rate}: {value:.2f}x")
+    for workload in ("SP", "HW"):
+        gain = speedups[(workload, 1.0)] / speedups[(workload, 0.5)]
+        assert gain < 1.25, (
+            f"{workload}: aggressive assumptions must not be a clear win "
+            f"(got {gain:.2f}x)"
+        )

@@ -1,0 +1,66 @@
+"""Ablation: the dynamic-control design choices of Section 3.3.
+
+Sweeps the channel-busy threshold and disables the pending-count cap
+to show each mechanism's contribution on a workload whose candidates
+stress them (LIB: stack-compute pressure, conditional loops).
+"""
+
+import dataclasses
+
+from repro import TraceScale, WorkloadRunner, ndp_config
+from repro.core.policies import NDP_CTRL_BMAP, NDP_NOCTRL_BMAP
+from repro.core.simulator import Simulator
+
+
+def test_busy_threshold_sweep(benchmark):
+    def run():
+        runner = WorkloadRunner("LIB", scale=TraceScale.TINY)
+        base = runner.baseline()
+        speedups = {}
+        for threshold in (0.5, 0.9, 1.0):
+            cfg = ndp_config()
+            cfg = dataclasses.replace(
+                cfg,
+                control=dataclasses.replace(
+                    cfg.control, channel_busy_threshold=threshold
+                ),
+            )
+            result = Simulator(runner.trace, cfg, NDP_CTRL_BMAP).run()
+            speedups[threshold] = result.speedup_over(base)
+        return speedups
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for threshold, value in sorted(speedups.items()):
+        print(f"  busy threshold {threshold}: {value:.2f}x")
+    # all settings must stay in a sane band; the default is competitive
+    assert speedups[0.9] > 0.8 * max(speedups.values())
+
+
+def test_pending_cap_is_the_load_shedder(benchmark):
+    """Removing the pending-count check (by comparing ctrl with
+    no-ctrl, which differs exactly in the dynamic checks) must shift
+    instructions from the main GPU to the stack SMs."""
+
+    def run():
+        runner = WorkloadRunner("LIB", scale=TraceScale.SMALL)
+        return (
+            runner.run(NDP_CTRL_BMAP),
+            runner.run(NDP_NOCTRL_BMAP),
+            runner.baseline(),
+        )
+
+    ctrl, noctrl, base = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n  ctrl: {ctrl.speedup_over(base):.2f}x "
+        f"@ {ctrl.offload.offloaded_instruction_fraction:.1%} offloaded\n"
+        f"  no-ctrl: {noctrl.speedup_over(base):.2f}x "
+        f"@ {noctrl.offload.offloaded_instruction_fraction:.1%} offloaded"
+    )
+    assert (
+        noctrl.offload.offloaded_instruction_fraction
+        >= 0.999 * ctrl.offload.offloaded_instruction_fraction
+    )
+    assert ctrl.speedup_over(base) >= 0.98 * noctrl.speedup_over(base), (
+        "for LIB, shedding offload load onto the main GPU must pay off"
+    )

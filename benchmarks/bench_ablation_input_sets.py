@@ -1,0 +1,80 @@
+"""Ablation: input-set adaptivity through conditional offloading
+(Section 3.1.3 / Challenge 1).
+
+The paper motivates programmer-transparent offloading with the
+observation that the profitable code blocks "may change dynamically
+due to program phase behavior and different input sets". LIB's loops
+are *conditional* candidates (break-even at 4 iterations); this bench
+runs the same compiled kernel on two input sets:
+
+* ``default`` — long maturities, nearly every instance clears the
+  threshold and offloads;
+* ``short``  — near-maturity swaps, trip counts of 1-3: the runtime
+  condition correctly refuses almost everything, keeping performance
+  at baseline instead of paying offload overheads for no benefit.
+
+Disabling the condition check (``respect_conditions=False``) shows
+what that adaptivity is worth.
+"""
+
+import dataclasses
+
+from repro import TraceScale, WorkloadRunner, make_workload, ndp_config
+from repro.core.policies import NDP_CTRL_BMAP
+from repro.core.simulator import Simulator
+
+
+def test_conditional_offloading_adapts_to_input_set(benchmark):
+    def run():
+        out = {}
+        for variant in ("default", "short"):
+            runner = WorkloadRunner(
+                make_workload("LIB", variant=variant), scale=TraceScale.SMALL
+            )
+            result = runner.run(NDP_CTRL_BMAP)
+            out[variant] = (
+                result.speedup_over(runner.baseline()),
+                result.offload.offloaded_instruction_fraction,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for variant, (speedup, fraction) in results.items():
+        print(f"  LIB[{variant}]: {speedup:.2f}x @ {fraction:.1%} offloaded")
+
+    default_speedup, default_fraction = results["default"]
+    short_speedup, short_fraction = results["short"]
+    assert default_fraction > 3 * short_fraction, (
+        "the same compiled kernel must offload far less on the short input"
+    )
+    assert short_speedup > 0.9, (
+        "with the condition respected, the short input stays near baseline"
+    )
+
+
+def test_ignoring_conditions_hurts_short_inputs(benchmark):
+    def run():
+        runner = WorkloadRunner(
+            make_workload("LIB", variant="short"), scale=TraceScale.SMALL
+        )
+        base = runner.baseline()
+        cfg = ndp_config()
+        blind = dataclasses.replace(
+            cfg, control=dataclasses.replace(cfg.control, respect_conditions=False)
+        )
+        respected = Simulator(runner.trace, cfg, NDP_CTRL_BMAP).run()
+        ignored = Simulator(runner.trace, blind, NDP_CTRL_BMAP).run()
+        return (
+            respected.speedup_over(base),
+            ignored.speedup_over(base),
+        )
+
+    respected, ignored = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n  short input: conditions respected {respected:.2f}x, "
+        f"ignored {ignored:.2f}x"
+    )
+    assert respected > ignored, (
+        "blindly offloading below-threshold instances must cost performance"
+    )

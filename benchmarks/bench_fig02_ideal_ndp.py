@@ -1,0 +1,20 @@
+"""Figure 2: ideal NDP speedup (no offload cost, perfect co-location).
+
+Paper: 1.58x average across the 10 workloads, up to 2.19x.
+Reproduction target: every workload at or above ~1x, a clear >1.4x
+average, and a maximum well above the average.
+"""
+
+from repro.analysis.figures import figure2
+from repro.workloads.suite import SUITE_ORDER
+
+
+def test_figure2_ideal_ndp_speedup(figure):
+    result = figure(figure2)
+    speedups = result.series("ideal NDP")
+
+    assert speedups["AVG"] > 1.3, "ideal NDP must clearly beat the baseline"
+    best = max(speedups[w] for w in SUITE_ORDER)
+    assert best > 1.7, "some workload must gain close to the 2x bandwidth headroom"
+    slowest = min(speedups[w] for w in SUITE_ORDER)
+    assert slowest > 0.85, "no workload should collapse under ideal NDP"

@@ -1,0 +1,27 @@
+"""Figure 5: analysis of accessed memory address offsets in offloading
+candidates.
+
+Paper: 85% of all offloading candidates have some fixed-offset
+accesses; six of the ten workloads fall in the all-fixed-offset bucket
+and BFS is the irregular outlier.
+"""
+
+from repro.analysis.figures import figure5
+from repro.analysis.offsets import BUCKETS
+from repro.workloads.suite import SUITE_ORDER
+
+
+def test_figure5_fixed_offset_analysis(figure):
+    result = figure(figure5)
+    has_fixed = result.series("has any fixed offset")
+
+    assert has_fixed["AVG"] > 0.75, (
+        "the great majority of candidates must show fixed-offset accesses "
+        "(paper: 85%)"
+    )
+    all_fixed = result.series(BUCKETS[0])
+    fully_regular = [w for w in SUITE_ORDER if all_fixed.get(w, 0.0) >= 0.99]
+    assert len(fully_regular) >= 4, (
+        f"several workloads must be entirely fixed-offset, got {fully_regular}"
+    )
+    assert has_fixed["BFS"] < 0.5, "BFS is the paper's irregular outlier"

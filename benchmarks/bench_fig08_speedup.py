@@ -1,0 +1,86 @@
+"""Figure 8: speedup with different NDP offloading and memory mapping
+policies, normalized to the no-NDP baseline.
+
+Paper: TOM (ctrl+tmap) improves performance by 30% on average (up to
+76%); uncontrolled offloading slows the system down on average, and
+dynamic aggressiveness control is what makes NDP profitable. Section
+6.1 also reports the offloaded-instruction fraction dropping from
+46.4% (no-ctrl) to 15.7% (ctrl), and Section 4.4.2 a ~1.2% coherence
+overhead.
+"""
+
+from repro.analysis.figures import figure8
+from repro.core.policies import NDP_CTRL_TMAP, NDP_NOCTRL_BMAP
+from repro.utils.stats import geometric_mean
+from repro.workloads.suite import SUITE_ORDER
+from suite_cache import figure8_results
+
+
+def test_figure8_policy_speedups(figure):
+    result = figure(figure8, results=figure8_results())
+    tom = result.series("ctrl+tmap")
+    ctrl_bmap = result.series("ctrl+bmap")
+    noctrl_bmap = result.series("no-ctrl+bmap")
+
+    # headline: TOM clearly beats the baseline, approaching the paper's 1.30x
+    assert tom["AVG"] > 1.10, f"TOM average {tom['AVG']:.2f} must beat baseline"
+    assert max(tom[w] for w in SUITE_ORDER) > 1.4, "TOM's best case nears the paper's 1.76x"
+
+    # dynamic control is the enabler: ctrl >= no-ctrl on average
+    assert ctrl_bmap["AVG"] > noctrl_bmap["AVG"], (
+        "controlled offloading must beat uncontrolled on average"
+    )
+
+    # LIB is the paper's poster child for no-ctrl collapse
+    assert noctrl_bmap["LIB"] < ctrl_bmap["LIB"], (
+        "uncontrolled offloading must hurt LIB relative to controlled"
+    )
+
+
+def test_figure8_offloaded_instruction_fractions(benchmark):
+    results = benchmark.pedantic(figure8_results, rounds=1, iterations=1)
+    noctrl = [
+        results[w][NDP_NOCTRL_BMAP.label].offload.offloaded_instruction_fraction
+        for w in SUITE_ORDER
+    ]
+    ctrl = [
+        results[w][NDP_CTRL_TMAP.label].offload.offloaded_instruction_fraction
+        for w in SUITE_ORDER
+    ]
+    mean_noctrl = sum(noctrl) / len(noctrl)
+    mean_ctrl = sum(ctrl) / len(ctrl)
+    print(
+        f"\noffloaded instructions: no-ctrl {mean_noctrl:.1%} -> "
+        f"ctrl {mean_ctrl:.1%} (paper: 46.4% -> 15.7%)"
+    )
+    assert mean_ctrl < mean_noctrl, (
+        "dynamic control must reduce the offloaded-instruction share"
+    )
+
+
+def test_figure8_coherence_overhead_is_small(benchmark):
+    """Section 4.4.2: the 3-step coherence protocol costs ~1.2%."""
+    from repro import TraceScale, WorkloadRunner, ndp_config
+    import dataclasses
+    from repro.core.policies import NDP_CTRL_BMAP
+    from repro.core.simulator import Simulator
+
+    def run():
+        # rerun one representative workload with free coherence
+        runner = WorkloadRunner("SP", scale=TraceScale.TINY)
+        cfg = runner.ndp_configuration
+        free = dataclasses.replace(
+            cfg,
+            control=dataclasses.replace(
+                cfg.control, coherence_invalidate_cycles=0.0
+            ),
+        )
+        return (
+            Simulator(runner.trace, cfg, NDP_CTRL_BMAP).run(),
+            Simulator(runner.trace, free, NDP_CTRL_BMAP).run(),
+        )
+
+    charged, uncharged = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = charged.cycles / uncharged.cycles - 1.0
+    print(f"\ncoherence overhead on SP: {overhead:.2%} (paper avg: 1.2%)")
+    assert overhead < 0.10, "coherence accounting must stay a small overhead"

@@ -1,0 +1,43 @@
+"""Figure 10: energy consumption with different NDP offloading and
+memory mapping policies, normalized to the baseline.
+
+Paper: TOM (ctrl+tmap) reduces total energy by 11% on average (up to
+37%); without data mapping and offload control, energy *increases* by
+8% because longer execution adds leakage. The baseline's energy is
+dominated by the SMs (~77%), with ~7% in the off-chip links.
+"""
+
+from repro.analysis.figures import figure10
+from repro.workloads.suite import SUITE_ORDER
+from suite_cache import figure8_results
+
+
+def test_figure10_energy(figure):
+    result = figure(figure10, results=figure8_results())
+    tom = result.series("ctrl+tmap")
+    sm_share = result.series("baseline SM share")
+
+    assert tom["AVG"] < 1.0, "TOM must save energy on average (paper: -11%)"
+    assert min(tom[w] for w in SUITE_ORDER) < 0.85, (
+        "the best case saves substantially (paper: -37%)"
+    )
+    # baseline energy composition: SMs dominate
+    assert sm_share["AVG"] > 0.5, "SM energy dominates the baseline (paper ~77%)"
+
+
+def test_figure10_slow_policies_cost_energy(benchmark):
+    """Policies that run longer burn leakage: energy ratio tracks the
+    inverse speedup direction."""
+    results = benchmark.pedantic(figure8_results, rounds=1, iterations=1)
+    for workload in SUITE_ORDER:
+        per_policy = results[workload]
+        base = per_policy["baseline"]
+        for label in ("no-ctrl+bmap", "ctrl+tmap"):
+            run = per_policy[label]
+            speedup = run.speedup_over(base)
+            ratio = run.energy_ratio_over(base)
+            if speedup < 0.8:
+                assert ratio > 0.85, (
+                    f"{workload}/{label}: a heavy slowdown must show up as "
+                    f"extra (leakage) energy, got ratio {ratio:.2f}"
+                )

@@ -1,0 +1,55 @@
+"""Figure 11: speedup with different warp capacities in the memory
+stack SMs (ctrl+tmap at 1x, 2x, 4x the 48-warp baseline).
+
+Paper: larger stack-SM warp capacity holds the ~1.29x average speedup
+while (Figure 12) saving much more traffic; RD is the exception that
+*regresses* at 4x because its offloaded blocks are ALU-rich and the
+stack SMs' compute pipelines saturate.
+"""
+
+from repro.core.policies import NDP_CTRL_TMAP
+from repro.analysis.figures import figure11
+from repro.utils.stats import geometric_mean
+from repro.workloads.suite import SUITE_ORDER
+from suite_cache import capacity_sweep
+
+
+def test_figure11_warp_capacity_speedup(figure):
+    result = figure(figure11, sweeps=capacity_sweep())
+    one = result.series("ctrl 1x warps")
+    four = result.series("ctrl 4x warps")
+
+    assert four["AVG"] > 0.75 * one["AVG"], (
+        "4x warp capacity must roughly maintain the average speedup "
+        "(our queueing model sheds less load to the main GPU than the "
+        "paper's, so the degradation is larger — see EXPERIMENTS.md)"
+    )
+    # the paper's RD anecdote: ALU-heavy offloaded blocks regress at 4x
+    assert four["RD"] < one["RD"] + 0.05, (
+        "RD must not improve at 4x warp capacity (stack ALU saturation)"
+    )
+    # more capacity -> more offloading pressure reaches the stacks;
+    # at least some workloads improve
+    improved = [w for w in SUITE_ORDER if four[w] > one[w]]
+    assert improved, "some workloads must benefit from extra stack warps"
+
+
+def test_figure11_offload_rate_grows_with_capacity(benchmark):
+    sweeps = benchmark.pedantic(capacity_sweep, rounds=1, iterations=1)
+    label = NDP_CTRL_TMAP.label
+
+    def mean_offloaded(multiplier):
+        results = sweeps[multiplier]
+        return geometric_mean(
+            [
+                max(
+                    1e-9,
+                    results[w][label].offload.offloaded_instruction_fraction,
+                )
+                for w in SUITE_ORDER
+            ]
+        )
+
+    low, high = mean_offloaded(1), mean_offloaded(4)
+    print(f"\noffloaded instruction share: 1x {low:.1%} -> 4x {high:.1%}")
+    assert high > low, "bigger stack SMs must accept more offloads"

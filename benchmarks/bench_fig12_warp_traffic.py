@@ -1,0 +1,24 @@
+"""Figure 12: memory traffic with different stack-SM warp capacities
+(ctrl+tmap, normalized to baseline).
+
+Paper: 4x warp capacity saves an additional ~20% of off-chip traffic
+over 1x (0.66x vs ~0.87x of baseline), approaching the savings of
+uncontrolled offloading while keeping its performance.
+"""
+
+from repro.analysis.figures import figure12
+from suite_cache import capacity_sweep
+
+
+def test_figure12_warp_capacity_traffic(figure):
+    result = figure(figure12, sweeps=capacity_sweep())
+    one = result.series("ctrl 1x warps")
+    two = result.series("ctrl 2x warps")
+    four = result.series("ctrl 4x warps")
+
+    # monotone: more stack warp capacity -> more offloads -> less traffic
+    assert four["AVG"] < one["AVG"], (
+        "4x capacity must save more traffic than 1x (paper: 0.66x vs 0.87x)"
+    )
+    assert two["AVG"] <= one["AVG"] + 0.02, "2x sits between 1x and 4x"
+    assert four["AVG"] < 0.9, "4x capacity traffic saving must be substantial"

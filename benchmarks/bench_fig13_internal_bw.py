@@ -1,0 +1,30 @@
+"""Figure 13: speedup with different internal bandwidth in the memory
+stacks (ctrl+tmap with the stack-internal bandwidth at 2x vs 1x the
+external link bandwidth).
+
+Paper: the NDP speedup does not hinge on extra internal bandwidth —
+with internal == external bandwidth the average speedup (1.28x) is
+within ~2% of the 2x-internal configuration (1.30x), because stack SMs
+exploit whatever headroom the off-chip-bottlenecked GPU leaves.
+"""
+
+from repro.analysis.figures import figure13
+
+
+def test_figure13_internal_bandwidth(figure):
+    result = figure(figure13)
+    double = result.series("2x internal BW")
+    single = result.series("1x internal BW")
+
+    assert single["AVG"] > 0.85, (
+        "NDP must stay near break-even with 1x internal bandwidth"
+    )
+    # the paper's point: the two configurations are close
+    gap = double["AVG"] / single["AVG"]
+    assert gap < 1.50, (
+        f"1x internal bandwidth must retain most of the benefit "
+        f"(2x/1x average ratio {gap:.2f})"
+    )
+    assert double["AVG"] >= single["AVG"] - 0.02, (
+        "extra internal bandwidth never hurts"
+    )

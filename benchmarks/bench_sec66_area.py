@@ -1,0 +1,40 @@
+"""Section 6.6: area estimation of TOM's added storage.
+
+Paper (exact arithmetic, reproduced bit for bit):
+  * memory map analyzer: 40 bits x 48 warps = 1,920 bits per SM;
+  * memory allocation table: 97 bits x 100 entries = 9,700 bits shared;
+  * offloading metadata table: 258 bits x 40 entries = 10,320 bits/SM;
+  * total (CACTI 6.5, 40 nm): 0.11 mm^2 = 0.018% of the GPU.
+"""
+
+import pytest
+
+from repro.analysis.figures import section66
+from repro.config import ndp_config
+from repro.energy.area import estimate_area
+
+
+def test_section66_area(figure):
+    result = figure(section66)
+    bits = result.series("storage bits")
+    area = result.series("area")
+
+    assert bits["analyzer/SM"] == 1920
+    assert bits["metadata/SM"] == 10320
+    assert bits["alloc table"] == 9700
+    assert area["total mm^2"] == pytest.approx(0.11, rel=1e-6)
+    assert area["GPU fraction"] == pytest.approx(0.00018, rel=1e-6)
+
+
+def test_section66_scaling_with_warp_capacity(benchmark):
+    """4x-warp stack SMs (Figure 11) do not change the per-SM tables of
+    the *main* GPU, so the estimate only moves with main-SM parameters."""
+
+    def compute():
+        return (
+            estimate_area(ndp_config()),
+            estimate_area(ndp_config(warp_capacity_multiplier=4)),
+        )
+
+    base, wide = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert base.total_bits == wide.total_bits

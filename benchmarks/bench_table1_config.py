@@ -1,0 +1,58 @@
+"""Table 1: the simulated system configuration, with derived rates.
+
+Not a performance experiment — this bench validates that the default
+configurations encode Table 1 and prints the derived per-cycle rates
+the simulator actually uses.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.config import baseline_config, ndp_config
+
+
+def test_table1_configuration(benchmark):
+    cfg = benchmark.pedantic(ndp_config, rounds=1, iterations=1)
+    base = baseline_config()
+
+    # Table 1, Main GPU
+    assert base.gpu.n_sms == 68 and cfg.gpu.n_sms == 64
+    assert cfg.gpu.warps_per_sm == 48
+    assert cfg.gpu.warp_size == 32
+    assert cfg.gpu.clock_ghz == 1.4
+    assert cfg.gpu.l1_bytes == 32 * 1024 and cfg.gpu.l1_ways == 4
+    assert cfg.gpu.l2_bytes == 1024 * 1024 and cfg.gpu.l2_ways == 16
+
+    # Table 1, Off-chip Links (aggregate per link)
+    assert cfg.links.gpu_stack_gbps == 80.0
+    assert cfg.links.gpu_stack_gbps * cfg.stacks.n_stacks == 320.0
+    assert cfg.links.cross_stack_gbps == 40.0
+
+    # Table 1, Memory Stack
+    assert cfg.stacks.n_stacks == 4
+    assert cfg.stacks.sms_per_stack == 1
+    assert cfg.stacks.vaults_per_stack == 16
+    assert cfg.stacks.banks_per_vault == 16
+    assert cfg.stacks.internal_bandwidth_gbps == 160.0
+    assert cfg.stacks.internal_bandwidth_gbps * cfg.stacks.n_stacks == 640.0
+
+    rows = {
+        "GB/s": {
+            "gpu<->stack": cfg.links.gpu_stack_gbps,
+            "cross-stack": cfg.links.cross_stack_gbps,
+            "stack internal": cfg.stacks.internal_bandwidth_gbps,
+            "per vault": cfg.vault_bandwidth_gbps,
+        },
+        "bytes/cycle": {
+            "gpu<->stack": cfg.bytes_per_cycle(cfg.links.gpu_stack_gbps),
+            "cross-stack": cfg.bytes_per_cycle(cfg.links.cross_stack_gbps),
+            "stack internal": cfg.bytes_per_cycle(cfg.stacks.internal_bandwidth_gbps),
+            "per vault": cfg.bytes_per_cycle(cfg.vault_bandwidth_gbps),
+        },
+    }
+    print()
+    print(
+        format_table(
+            "Table 1: link and memory rates",
+            ["gpu<->stack", "cross-stack", "stack internal", "per vault"],
+            rows,
+        )
+    )

@@ -1,0 +1,27 @@
+"""Shared, per-process cache of the Figure 8 policy-grid simulations.
+
+Figures 8, 9, and 10 are three views (speedup, traffic, energy) of the
+same 50 simulations (10 workloads x baseline + 4 policies). The first
+benchmark that needs them pays the simulation cost; the others reuse
+the results and only time their aggregation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.figures import (
+    SuiteResults,
+    run_figure8_suite,
+    warp_capacity_sweep,
+)
+
+
+@lru_cache(maxsize=1)
+def figure8_results() -> SuiteResults:
+    return run_figure8_suite()
+
+
+@lru_cache(maxsize=1)
+def capacity_sweep():
+    return warp_capacity_sweep()

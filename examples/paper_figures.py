@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate every figure/table of the paper's evaluation as text.
+
+This is the example-sized version of the benchmark harness: it runs
+each experiment driver once at the chosen scale and prints the tables
+that EXPERIMENTS.md records.
+
+Usage::
+
+    python examples/paper_figures.py [SCALE] [FIGURE ...]
+
+e.g. ``python examples/paper_figures.py SMALL fig2 fig8`` or, with no
+figure arguments, everything (several minutes at SMALL scale).
+"""
+
+import os
+import sys
+import time
+
+from repro.analysis import figures
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if args and args[0].upper() in ("TINY", "SMALL", "MEDIUM", "LARGE"):
+        os.environ["REPRO_BENCH_SCALE"] = args[0].upper()
+        args = args[1:]
+
+    drivers = {
+        "fig2": figures.figure2,
+        "fig3": figures.figure3,
+        "fig5": figures.figure5,
+        "fig6": figures.figure6,
+        "fig8": figures.figure8,
+        "fig9": figures.figure9,
+        "fig10": figures.figure10,
+        "fig11": figures.figure11,
+        "fig12": figures.figure12,
+        "fig13": figures.figure13,
+        "sec65": figures.section65,
+        "sec66": figures.section66,
+    }
+    chosen = args or list(drivers)
+
+    shared = None
+    capacity = None
+    for name in chosen:
+        if name not in drivers:
+            raise SystemExit(f"unknown figure {name!r}; pick from {list(drivers)}")
+        start = time.time()
+        if name in ("fig8", "fig9", "fig10"):
+            shared = shared or figures.run_figure8_suite()
+            result = drivers[name](results=shared)
+        elif name in ("fig11", "fig12"):
+            capacity = capacity or figures.warp_capacity_sweep()
+            result = drivers[name](sweeps=capacity)
+        else:
+            result = drivers[name]()
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: run TOM on one paper workload and print the headline
+metrics.
+
+Usage::
+
+    python examples/quickstart.py [WORKLOAD] [SCALE]
+
+e.g. ``python examples/quickstart.py LIB SMALL``. Workloads are the
+Table 2 abbreviations (BP BFS KM CFD HW LIB RAY FWT SP RD); scales are
+TINY/SMALL/MEDIUM/LARGE.
+"""
+
+import sys
+
+from repro import (
+    BASELINE,
+    IDEAL_NDP,
+    NDP_CTRL_BMAP,
+    NDP_NOCTRL_BMAP,
+    TOM,
+    TraceScale,
+    WorkloadRunner,
+)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "LIB"
+    scale = TraceScale[sys.argv[2]] if len(sys.argv) > 2 else TraceScale.SMALL
+
+    print(f"Building {workload} trace at {scale.name} scale ...")
+    runner = WorkloadRunner(workload, scale=scale)
+    trace = runner.trace
+    print(f"  kernel: {trace.kernel.name!r} ({len(trace.kernel)} instructions)")
+    print(f"  offloading candidates found by the compiler:")
+    for candidate in trace.selection.candidates:
+        print(f"    {candidate.describe()}")
+    print(
+        f"  {trace.n_warps} warps, {trace.total_candidate_instances} candidate "
+        f"instances, {trace.total_instructions} warp instructions"
+    )
+
+    print("\nSimulating ...")
+    baseline = runner.baseline()
+    print(f"  {baseline.summary_line()}")
+    for policy in (NDP_NOCTRL_BMAP, NDP_CTRL_BMAP, TOM, IDEAL_NDP):
+        result = runner.run(policy)
+        print(f"  {result.summary_line()}")
+
+    tom = runner.run(TOM)
+    print(f"\nTOM on {workload}:")
+    print(f"  speedup over baseline : {tom.speedup_over(baseline):5.2f}x")
+    print(f"  off-chip traffic      : {tom.traffic_ratio_over(baseline):5.1%} of baseline")
+    print(f"  energy                : {tom.energy_ratio_over(baseline):5.1%} of baseline")
+    if tom.learned_bit_position is not None:
+        print(
+            f"  learned stack-index bits [{tom.learned_bit_position}:"
+            f"{tom.learned_bit_position + 2}) with "
+            f"{tom.learned_colocation:.0%} co-location"
+        )
+    print(f"  offload decisions     : {tom.offload.decision_breakdown}")
+
+
+if __name__ == "__main__":
+    main()

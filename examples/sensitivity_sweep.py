@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Design-space sensitivity sweep beyond the paper's configurations.
+
+The paper sweeps internal bandwidth (Figure 13), cross-stack bandwidth
+(Section 6.5), and stack-SM warp capacity (Figures 11/12). This example
+adds the axes a system architect would ask about next:
+
+* number of memory stacks (2 / 4 / 8) at constant total capacity;
+* GPU<->stack link bandwidth scaling;
+* stack-SM issue width (a beefier logic-layer SM).
+
+Usage: ``python examples/sensitivity_sweep.py [WORKLOAD] [SCALE]``
+"""
+
+import dataclasses
+import sys
+
+from repro import (
+    BASELINE,
+    TOM,
+    TraceScale,
+    WorkloadRunner,
+    ndp_config,
+)
+from repro.analysis import format_table
+from repro.core.simulator import Simulator
+
+
+def sweep_stacks(workload: str, scale: TraceScale) -> dict:
+    """2/4/8 stacks; per-stack link and internal bandwidth scaled so the
+    totals stay constant (320 GB/s external, 640 GB/s internal)."""
+    results = {}
+    for n_stacks in (2, 4, 8):
+        cfg = ndp_config()
+        cfg = dataclasses.replace(
+            cfg,
+            stacks=dataclasses.replace(
+                cfg.stacks,
+                n_stacks=n_stacks,
+                internal_bandwidth_gbps=640.0 / n_stacks,
+            ),
+            links=dataclasses.replace(
+                cfg.links,
+                gpu_stack_gbps=320.0 / n_stacks,
+                cross_stack_gbps=160.0 / n_stacks,
+            ),
+        ).validate()
+        runner = WorkloadRunner(workload, scale=scale, ndp_configuration=cfg)
+        base = runner.baseline()
+        tom = runner.run(TOM)
+        results[f"{n_stacks} stacks"] = {
+            "speedup": tom.speedup_over(base),
+            "traffic": tom.traffic_ratio_over(base),
+            "colocation": tom.learned_colocation or 0.0,
+        }
+    return results
+
+
+def sweep_link_bandwidth(workload: str, scale: TraceScale) -> dict:
+    results = {}
+    for gbps in (40.0, 80.0, 160.0):
+        cfg = ndp_config()
+        cfg = dataclasses.replace(
+            cfg, links=dataclasses.replace(cfg.links, gpu_stack_gbps=gbps)
+        ).validate()
+        runner = WorkloadRunner(workload, scale=scale, ndp_configuration=cfg)
+        results[f"{gbps:.0f} GB/s links"] = {
+            "speedup": runner.speedup(TOM),
+            "traffic": runner.traffic_ratio(TOM),
+        }
+    return results
+
+
+def sweep_stack_issue(workload: str, scale: TraceScale) -> dict:
+    results = {}
+    runner0 = WorkloadRunner(workload, scale=scale)
+    base = runner0.baseline()
+    for issue in (1.0, 2.0, 4.0):
+        cfg = ndp_config()
+        cfg = dataclasses.replace(
+            cfg,
+            stacks=dataclasses.replace(
+                cfg.stacks, stack_sm_issue_per_cycle=issue
+            ),
+        ).validate()
+        result = Simulator(runner0.trace, cfg, TOM).run()
+        results[f"issue {issue:.0f}/cycle"] = {
+            "speedup": result.speedup_over(base),
+            "offloaded": result.offload.offloaded_instruction_fraction,
+        }
+    return results
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "SP"
+    scale = TraceScale[sys.argv[2]] if len(sys.argv) > 2 else TraceScale.TINY
+
+    print(f"TOM sensitivity on {workload} at {scale.name} scale\n")
+
+    stacks = sweep_stacks(workload, scale)
+    print(
+        format_table(
+            "stack count (constant aggregate bandwidth)",
+            ["speedup", "traffic", "colocation"],
+            stacks,
+        )
+    )
+    print()
+    links = sweep_link_bandwidth(workload, scale)
+    print(
+        format_table(
+            "GPU<->stack link bandwidth", ["speedup", "traffic"], links
+        )
+    )
+    print()
+    issue = sweep_stack_issue(workload, scale)
+    print(
+        format_table(
+            "stack-SM issue width", ["speedup", "offloaded"], issue
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

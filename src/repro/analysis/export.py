@@ -1,0 +1,150 @@
+"""Machine-readable exports: JSON for simulation results, CSV for
+figures, and a bundle writer that materializes every reproduced figure
+into a directory (text + CSV side by side) for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.results import SimulationResult
+from ..errors import AnalysisError
+from .figures import FigureResult
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """A flat, JSON-safe view of one simulation run."""
+    return {
+        "workload": result.workload,
+        "policy": result.policy_label,
+        "cycles": result.cycles,
+        "warp_instructions": result.warp_instructions,
+        "thread_instructions": result.thread_instructions,
+        "ipc": result.ipc,
+        "traffic": {
+            "gpu_memory_rx": result.traffic.gpu_memory_rx,
+            "gpu_memory_tx": result.traffic.gpu_memory_tx,
+            "memory_memory": result.traffic.memory_memory,
+            "pcie": result.traffic.pcie,
+            "off_chip_total": result.traffic.off_chip_total,
+        },
+        "energy_j": {
+            "sm": result.energy.sm_j,
+            "links": result.energy.links_j,
+            "dram": result.energy.dram_j,
+            "total": result.energy.total_j,
+        },
+        "offload": {
+            "candidates_considered": result.offload.candidates_considered,
+            "candidates_offloaded": result.offload.candidates_offloaded,
+            "offload_rate": result.offload.offload_rate,
+            "offloaded_instruction_fraction": (
+                result.offload.offloaded_instruction_fraction
+            ),
+            "decisions": dict(result.offload.decision_breakdown),
+            "dirty_lines_reported": result.offload.dirty_lines_reported,
+        },
+        "learned_bit_position": result.learned_bit_position,
+        "learned_colocation": result.learned_colocation,
+        "l1_load_miss_rate": result.l1_load_miss_rate,
+        "l2_load_miss_rate": result.l2_load_miss_rate,
+        "dram_row_hit_rate": result.dram_row_hit_rate,
+    }
+
+
+def result_to_json(result: SimulationResult, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """One row per series, one column per figure column; blank cells
+    for values a series does not define."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series"] + list(figure.columns))
+    for series, values in figure.rows.items():
+        writer.writerow(
+            [series] + [values.get(column, "") for column in figure.columns]
+        )
+    return buffer.getvalue()
+
+
+def figure_to_dict(figure: FigureResult) -> Dict:
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "columns": list(figure.columns),
+        "rows": {name: dict(values) for name, values in figure.rows.items()},
+        "note": figure.note,
+    }
+
+
+def write_figure(figure: FigureResult, directory: str) -> List[str]:
+    """Write ``<figure-id>.txt``, ``.csv``, and ``.json`` into
+    ``directory``; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    slug = figure.figure_id.lower().replace(" ", "").replace(".", "_")
+    paths = []
+    for extension, content in (
+        ("txt", figure.render() + "\n"),
+        ("csv", figure_to_csv(figure)),
+        ("json", json.dumps(figure_to_dict(figure), indent=2) + "\n"),
+    ):
+        path = os.path.join(directory, f"{slug}.{extension}")
+        with open(path, "w") as handle:
+            handle.write(content)
+        paths.append(path)
+    return paths
+
+
+def write_bundle(
+    directory: str,
+    figure_names: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[str]:
+    """Regenerate figures (all by default) into ``directory``.
+
+    Shares the Figure 8 simulations across figures 8/9/10 and the
+    capacity sweep across 11/12, exactly like the benchmark harness.
+    """
+    from . import figures
+
+    drivers: Dict[str, Callable[[], FigureResult]] = {
+        "fig2": figures.figure2,
+        "fig3": figures.figure3,
+        "fig5": figures.figure5,
+        "fig6": figures.figure6,
+        "fig8": figures.figure8,
+        "fig9": figures.figure9,
+        "fig10": figures.figure10,
+        "fig11": figures.figure11,
+        "fig12": figures.figure12,
+        "fig13": figures.figure13,
+        "sec65": figures.section65,
+        "sec66": figures.section66,
+    }
+    chosen = list(figure_names) if figure_names is not None else list(drivers)
+    unknown = [name for name in chosen if name not in drivers]
+    if unknown:
+        raise AnalysisError(f"unknown figures {unknown}; pick from {list(drivers)}")
+
+    shared = None
+    sweep = None
+    written: List[str] = []
+    for name in chosen:
+        if progress:
+            progress(name)
+        if name in ("fig8", "fig9", "fig10"):
+            shared = shared or figures.run_figure8_suite()
+            figure = drivers[name](results=shared)
+        elif name in ("fig11", "fig12"):
+            sweep = sweep or figures.warp_capacity_sweep()
+            figure = drivers[name](sweeps=sweep)
+        else:
+            figure = drivers[name]()
+        written.extend(write_figure(figure, directory))
+    return written

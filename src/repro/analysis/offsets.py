@@ -1,0 +1,148 @@
+"""Fixed-offset access analysis (Section 3.2.1 / Figure 5).
+
+An access pair is *fixed offset* when the address distance between two
+consecutive memory accesses of a candidate block is (nearly) the same
+every time the pair executes. Figure 5 buckets candidate blocks by the
+fraction of their access pairs that are fixed offset; the paper finds
+85% of candidate blocks have at least some fixed-offset accesses, and
+six of the ten workloads are entirely fixed offset.
+
+Operationally: for every ordered pair of consecutive accesses inside a
+candidate instance's access stream, keyed by the pair's static access
+ids, we collect the deltas between their first line addresses across
+every instance and iteration. A pair is fixed offset when the modal
+delta covers at least ``dominance`` (default 90%) of its samples; the
+same is done for each access's *self* delta across loop iterations. A
+*static access* is fixed offset when a pair it participates in (with
+its predecessor or successor in the stream, or with its own previous
+iteration) is fixed. A block's Figure 5 fraction is fixed accesses /
+all accesses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..gpu.warp import CandidateSegment, WarpTask
+
+#: Figure 5's legend, in its order.
+BUCKETS = (
+    "all accesses fixed offset",
+    "75%-99% fixed offset",
+    "50%-75% fixed offset",
+    "25%-50% fixed offset",
+    "0%-25% fixed offset",
+    "no access fixed offset",
+)
+
+
+@dataclass(frozen=True)
+class BlockOffsetProfile:
+    """Fixed-offset statistics for one candidate block.
+
+    ``pair_fixed_fraction`` is the fraction of the block's *static
+    accesses* adjacent to at least one fixed-offset pair.
+    """
+
+    block_id: int
+    pair_fixed_fraction: float
+    n_pairs: int
+    n_samples: int
+
+    @property
+    def bucket(self) -> str:
+        f = self.pair_fixed_fraction
+        if self.n_pairs == 0 or f <= 0.0:
+            return BUCKETS[5]
+        if f >= 0.995:
+            return BUCKETS[0]
+        if f >= 0.75:
+            return BUCKETS[1]
+        if f >= 0.50:
+            return BUCKETS[2]
+        if f >= 0.25:
+            return BUCKETS[3]
+        return BUCKETS[4]
+
+    @property
+    def has_fixed_offset(self) -> bool:
+        return self.n_pairs > 0 and self.pair_fixed_fraction > 0.0
+
+
+def analyze_block_offsets(
+    tasks: Sequence[WarpTask],
+    dominance: float = 0.90,
+) -> List[BlockOffsetProfile]:
+    """Per-candidate-block fixed-offset profiles for one trace."""
+    if not 0.0 < dominance <= 1.0:
+        raise AnalysisError(f"dominance must be in (0, 1], got {dominance}")
+    deltas: Dict[int, Dict[Tuple[int, int], Counter]] = defaultdict(
+        lambda: defaultdict(Counter)
+    )
+    self_deltas: Dict[int, Dict[int, Counter]] = defaultdict(
+        lambda: defaultdict(Counter)
+    )
+    for task in tasks:
+        for segment in task.candidate_segments:
+            accesses = segment.accesses
+            for current, following in zip(accesses, accesses[1:]):
+                key = (current.access_id, following.access_id)
+                delta = following.line_addresses[0] - current.line_addresses[0]
+                deltas[segment.block_id][key][delta] += 1
+            # self-offsets: consecutive dynamic occurrences of the same
+            # static access within one instance (iteration stride)
+            last_seen: Dict[int, int] = {}
+            for access in accesses:
+                if access.access_id in last_seen:
+                    self_deltas[segment.block_id][access.access_id][
+                        access.line_addresses[0] - last_seen[access.access_id]
+                    ] += 1
+                last_seen[access.access_id] = access.line_addresses[0]
+
+    profiles: List[BlockOffsetProfile] = []
+    for block_id in sorted(deltas):
+        pair_counters = deltas[block_id]
+        fixed_accesses: set = set()
+        all_accesses: set = set()
+        total_samples = 0
+        for (first, second), counter in pair_counters.items():
+            samples = sum(counter.values())
+            total_samples += samples
+            all_accesses.update((first, second))
+            modal = counter.most_common(1)[0][1]
+            if modal / samples >= dominance:
+                fixed_accesses.update((first, second))
+        for access_id, counter in self_deltas[block_id].items():
+            all_accesses.add(access_id)
+            samples = sum(counter.values())
+            modal = counter.most_common(1)[0][1]
+            if modal / samples >= dominance:
+                fixed_accesses.add(access_id)
+        fraction = len(fixed_accesses) / len(all_accesses) if all_accesses else 0.0
+        profiles.append(
+            BlockOffsetProfile(
+                block_id=block_id,
+                pair_fixed_fraction=fraction,
+                n_pairs=len(pair_counters),
+                n_samples=total_samples,
+            )
+        )
+    return profiles
+
+
+def bucket_distribution(profiles: Sequence[BlockOffsetProfile]) -> Dict[str, float]:
+    """Fraction of candidate blocks per Figure 5 bucket."""
+    if not profiles:
+        raise AnalysisError("no candidate blocks to bucket")
+    counts = Counter(profile.bucket for profile in profiles)
+    return {bucket: counts.get(bucket, 0) / len(profiles) for bucket in BUCKETS}
+
+
+def fraction_with_fixed_offset(profiles: Sequence[BlockOffsetProfile]) -> float:
+    """The paper's '85% of all offloading candidates' statistic."""
+    if not profiles:
+        raise AnalysisError("no candidate blocks analyzed")
+    return sum(1 for p in profiles if p.has_fixed_offset) / len(profiles)

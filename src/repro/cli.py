@@ -1,0 +1,213 @@
+"""Command-line interface: ``repro-tom``.
+
+Subcommands::
+
+    repro-tom run LIB --policy ctrl+tmap --scale SMALL
+        Simulate one workload under one policy and print the metrics.
+
+    repro-tom suite --scale TINY
+        Run the Figure 8 policy grid over the whole suite.
+
+    repro-tom figure fig8 [--scale SMALL]
+        Regenerate one of the paper's figures as a text table
+        (fig2 fig3 fig5 fig6 fig8 fig9 fig10 fig11 fig12 fig13
+        sec65 sec66).
+
+    repro-tom inspect LIB
+        Dump a workload's kernel and the compiler's offload analysis.
+
+Exit code 0 on success; errors print to stderr and exit 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import (
+    BASELINE,
+    FIGURE8_GRID,
+    IDEAL_NDP,
+    NDP_CTRL_ORACLE,
+    TraceScale,
+    WorkloadRunner,
+    make_workload,
+)
+from .errors import ReproError
+from .workloads.suite import SUITE_ORDER
+
+_POLICIES = {policy.label: policy for policy in FIGURE8_GRID}
+_POLICIES[BASELINE.label] = BASELINE
+_POLICIES[IDEAL_NDP.label] = IDEAL_NDP
+_POLICIES[NDP_CTRL_ORACLE.label] = NDP_CTRL_ORACLE
+
+_FIGURES = (
+    "fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "sec65", "sec66",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tom",
+        description="TOM (ISCA 2016) reproduction: simulate, sweep, inspect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload under one policy")
+    run.add_argument("workload", choices=SUITE_ORDER)
+    run.add_argument(
+        "--policy", default="ctrl+tmap", choices=sorted(_POLICIES)
+    )
+    run.add_argument("--scale", default="SMALL", choices=[s.name for s in TraceScale])
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    suite = sub.add_parser("suite", help="Figure 8 policy grid over the suite")
+    suite.add_argument("--scale", default="SMALL", choices=[s.name for s in TraceScale])
+    suite.add_argument("--seed", type=int, default=0)
+    suite.add_argument(
+        "--workloads", nargs="*", choices=SUITE_ORDER, default=None
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=_FIGURES)
+    figure.add_argument("--scale", default=None, choices=[s.name for s in TraceScale])
+
+    inspect = sub.add_parser("inspect", help="kernel + compiler analysis dump")
+    inspect.add_argument("workload", choices=SUITE_ORDER)
+
+    bundle = sub.add_parser(
+        "bundle", help="write every figure (txt+csv+json) into a directory"
+    )
+    bundle.add_argument("directory")
+    bundle.add_argument("--figures", nargs="*", default=None)
+    bundle.add_argument("--scale", default=None, choices=[s.name for s in TraceScale])
+    return parser
+
+
+def _cmd_run(args) -> None:
+    runner = WorkloadRunner(
+        args.workload, scale=TraceScale[args.scale], seed=args.seed
+    )
+    policy = _POLICIES[args.policy]
+    baseline = runner.baseline()
+    result = runner.run(policy)
+    if getattr(args, "json", False):
+        from .analysis.export import result_to_dict
+        import json as _json
+
+        payload = {
+            "baseline": result_to_dict(baseline),
+            "run": result_to_dict(result),
+        }
+        if policy is not BASELINE:
+            payload["speedup"] = result.speedup_over(baseline)
+            payload["traffic_ratio"] = result.traffic_ratio_over(baseline)
+            payload["energy_ratio"] = result.energy_ratio_over(baseline)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(baseline.summary_line())
+    print(result.summary_line())
+    if policy is not BASELINE:
+        print(f"speedup over baseline: {result.speedup_over(baseline):.2f}x")
+        print(f"traffic vs baseline  : {result.traffic_ratio_over(baseline):.1%}")
+        print(f"energy vs baseline   : {result.energy_ratio_over(baseline):.1%}")
+        print(f"offload decisions    : {result.offload.decision_breakdown}")
+
+
+def _cmd_suite(args) -> None:
+    from .analysis.figures import figure8
+    from .core.experiment import run_suite
+
+    results = run_suite(
+        FIGURE8_GRID,
+        scale=TraceScale[args.scale],
+        seed=args.seed,
+        workloads=args.workloads,
+    )
+    if args.workloads:  # partial suite: print raw speedups
+        for name, per_policy in results.items():
+            base = per_policy["baseline"]
+            line = "  ".join(
+                f"{label}={run.speedup_over(base):.2f}x"
+                for label, run in per_policy.items()
+                if label != "baseline"
+            )
+            print(f"{name:>4s}: {line}")
+    else:
+        print(figure8(results=results).render())
+
+
+def _cmd_figure(args) -> None:
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    from .analysis import figures
+
+    driver = {
+        "fig2": figures.figure2,
+        "fig3": figures.figure3,
+        "fig5": figures.figure5,
+        "fig6": figures.figure6,
+        "fig8": figures.figure8,
+        "fig9": figures.figure9,
+        "fig10": figures.figure10,
+        "fig11": figures.figure11,
+        "fig12": figures.figure12,
+        "fig13": figures.figure13,
+        "sec65": figures.section65,
+        "sec66": figures.section66,
+    }[args.name]
+    print(driver().render())
+
+
+def _cmd_inspect(args) -> None:
+    from .compiler import select_candidates
+
+    model = make_workload(args.workload)
+    kernel = model.build_kernel()
+    print(f"# {model.full_name} ({model.fixed_offset_profile})")
+    print(kernel.dump())
+    print()
+    selection = select_candidates(kernel)
+    print(f"offloading candidates ({len(selection.candidates)}):")
+    for candidate in selection.candidates:
+        print(f"  {candidate.describe()}")
+    for reason in selection.rejected:
+        print(f"  rejected: {reason}")
+
+
+def _cmd_bundle(args) -> None:
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    from .analysis.export import write_bundle
+
+    written = write_bundle(
+        args.directory,
+        figure_names=args.figures,
+        progress=lambda name: print(f"generating {name} ...", file=sys.stderr),
+    )
+    for path in written:
+        print(path)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        {
+            "run": _cmd_run,
+            "suite": _cmd_suite,
+            "figure": _cmd_figure,
+            "inspect": _cmd_inspect,
+            "bundle": _cmd_bundle,
+        }[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Static analysis: CFG, loops, liveness, and offload-candidate selection."""
+
+from .candidates import (
+    OffloadCandidate,
+    OffloadCondition,
+    SelectionResult,
+    select_candidates,
+)
+from .cfg import BasicBlock, Cfg
+from .cost_model import (
+    BandwidthEstimate,
+    estimate_with_config,
+    min_beneficial_iterations,
+    per_iteration_saving,
+    thread_estimate,
+    warp_estimate,
+)
+from .liveness import (
+    LivenessResult,
+    compute_liveness,
+    loop_live_registers,
+    region_live_registers,
+)
+from .loops import Loop, TripInfo, TripKind, analyze_trip_count, find_loops
+from .metadata import (
+    ENTRY_BITS,
+    TABLE_ENTRIES,
+    MetadataEntry,
+    OffloadMetadataTable,
+)
+
+__all__ = [
+    "BandwidthEstimate",
+    "BasicBlock",
+    "Cfg",
+    "ENTRY_BITS",
+    "LivenessResult",
+    "Loop",
+    "MetadataEntry",
+    "OffloadCandidate",
+    "OffloadCondition",
+    "OffloadMetadataTable",
+    "SelectionResult",
+    "TABLE_ENTRIES",
+    "TripInfo",
+    "TripKind",
+    "analyze_trip_count",
+    "compute_liveness",
+    "estimate_with_config",
+    "find_loops",
+    "loop_live_registers",
+    "min_beneficial_iterations",
+    "per_iteration_saving",
+    "region_live_registers",
+    "select_candidates",
+    "thread_estimate",
+    "warp_estimate",
+]

@@ -1,0 +1,405 @@
+"""Offloading-candidate identification (Sections 3.1.2-3.1.5).
+
+The selector enumerates two kinds of instruction region:
+
+* **natural loops** (with trip-count classification from
+  :mod:`.loops`), and
+* **straight-line runs** — maximal control-flow-free instruction
+  sequences outside any loop.
+
+A region is *disqualified* (Section 3.1.4) if it contains shared-memory
+accesses, barriers/atomics, or control flow that can escape the region
+(for loops: any branch target outside the loop's instruction range).
+Surviving regions are scored with the warp-granularity cost model; a
+region whose estimated TX+RX change is negative becomes an offloading
+candidate, tagged with the 2-bit TX/RX-savings tag the hardware uses
+for dynamic control. Loops whose trip count is only known at run time
+become *conditional* candidates carrying the break-even iteration
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import CompilerConfig, MessageConfig
+from ..errors import CompilerError
+from ..isa.instructions import Instruction, OpClass
+from ..isa.kernel import Kernel
+from .cfg import Cfg
+from .constprop import constant_entry_registers
+from .cost_model import (
+    BandwidthEstimate,
+    estimate_with_config,
+    min_beneficial_iterations,
+)
+from .liveness import (
+    LivenessResult,
+    compute_liveness,
+    loop_live_registers,
+    region_live_registers,
+)
+from .loops import Loop, TripInfo, TripKind, analyze_trip_count, find_loops
+
+
+@dataclass(frozen=True)
+class OffloadCondition:
+    """Runtime condition for a conditional candidate (Section 3.1.3):
+    offload iff the value of ``register`` is at least ``min_iterations``
+    (the break-even loop count)."""
+
+    register: str
+    min_iterations: int
+
+
+@dataclass(frozen=True)
+class OffloadCandidate:
+    """One compiler-identified offloading candidate block."""
+
+    kernel_name: str
+    block_id: int
+    start: int  # first instruction index (inclusive)
+    end: int  # past-the-end instruction index
+    is_loop: bool
+    trip: Optional[TripInfo]
+    reg_tx: Tuple[str, ...]
+    reg_rx: Tuple[str, ...]
+    #: live-ins that are compile-time constants at entry — embedded in
+    #: the offload metadata instead of transmitted (see constprop)
+    const_live_in: Tuple[str, ...]
+    n_loads: int  # per iteration
+    n_stores: int  # per iteration
+    n_alu: int  # per iteration
+    access_ids: Tuple[int, ...]
+    estimate: BandwidthEstimate
+    condition: Optional[OffloadCondition]
+
+    @property
+    def saves_tx(self) -> bool:
+        return self.estimate.saves_tx
+
+    @property
+    def saves_rx(self) -> bool:
+        return self.estimate.saves_rx
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.condition is not None
+
+    @property
+    def n_live_in(self) -> int:
+        return len(self.reg_tx)
+
+    @property
+    def n_live_out(self) -> int:
+        return len(self.reg_rx)
+
+    @property
+    def instructions_per_iteration(self) -> int:
+        return self.n_alu + self.n_loads + self.n_stores
+
+    def describe(self) -> str:
+        kind = "loop" if self.is_loop else "block"
+        cond = (
+            f", conditional(>{self.condition.min_iterations - 1} iters "
+            f"of {self.condition.register})"
+            if self.condition
+            else ""
+        )
+        return (
+            f"{self.kernel_name}#{self.block_id} {kind} [{self.start},{self.end}) "
+            f"TX{'-' if self.saves_tx else '+'} RX{'-' if self.saves_rx else '+'} "
+            f"ld={self.n_loads} st={self.n_stores} alu={self.n_alu} "
+            f"live_in={self.n_live_in} live_out={self.n_live_out}{cond}"
+        )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Candidates plus the rejected regions (useful for ablations)."""
+
+    kernel_name: str
+    candidates: Tuple[OffloadCandidate, ...]
+    rejected: Tuple[str, ...]
+
+    def candidate_by_block(self, block_id: int) -> OffloadCandidate:
+        for candidate in self.candidates:
+            if candidate.block_id == block_id:
+                return candidate
+        raise CompilerError(
+            f"kernel {self.kernel_name!r} has no candidate block {block_id}"
+        )
+
+
+def _region_mix(kernel: Kernel, start: int, end: int) -> Tuple[int, int, int, Tuple[int, ...]]:
+    """(loads, stores, alu, access_ids) for instruction range [start, end)."""
+    loads = stores = alu = 0
+    access_ids: List[int] = []
+    for idx in range(start, end):
+        instr = kernel.instructions[idx]
+        if instr.is_load:
+            loads += 1
+            access_ids.append(instr.access_id)
+        elif instr.is_store:
+            stores += 1
+            access_ids.append(instr.access_id)
+        elif instr.opclass is OpClass.ALU:
+            alu += 1
+    return loads, stores, alu, tuple(access_ids)
+
+
+def _region_disqualified(kernel: Kernel, start: int, end: int, is_loop: bool) -> Optional[str]:
+    """Section 3.1.4 limitations; returns a reason string or None."""
+    for idx in range(start, end):
+        instr = kernel.instructions[idx]
+        if instr.is_shared_memory:
+            return "shared memory access"
+        if instr.is_sync_or_atomic:
+            return "synchronization or atomic instruction"
+        if instr.is_branch:
+            if not is_loop:
+                return "control flow in straight-line region"
+            target = kernel.label_index(instr.target)
+            if not start <= target < end:
+                return "branch escapes the region"
+    return None
+
+
+def _loop_candidate_regions(cfg: Cfg) -> List[Loop]:
+    """Outermost contiguous loops (nested loops fold into their parent)."""
+    loops = find_loops(cfg)
+    chosen: List[Loop] = []
+    for loop in loops:  # already sorted outermost-first
+        if any(loop.blocks <= outer.blocks for outer in chosen):
+            continue
+        chosen.append(loop)
+    return chosen
+
+
+def _straight_line_regions(
+    kernel: Kernel, cfg: Cfg, loops: Sequence[Loop]
+) -> List[Tuple[int, int]]:
+    """Maximal branch-free instruction runs outside every loop."""
+    in_loop = [False] * len(kernel)
+    for loop in loops:
+        for block_index in loop.blocks:
+            block = cfg.blocks[block_index]
+            for idx in range(block.start, block.end):
+                in_loop[idx] = True
+    regions: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for idx, instr in enumerate(kernel.instructions):
+        breaks = instr.is_branch or instr.is_exit or in_loop[idx]
+        if breaks:
+            if start is not None and idx > start:
+                regions.append((start, idx))
+            start = None
+        elif start is None:
+            start = idx
+    if start is not None and start < len(kernel):
+        regions.append((start, len(kernel)))
+    return regions
+
+
+def select_candidates(
+    kernel: Kernel,
+    compiler_config: Optional[CompilerConfig] = None,
+    messages: Optional[MessageConfig] = None,
+    warp_size: int = 32,
+) -> SelectionResult:
+    """Run the full Section 3.1 analysis on one kernel."""
+    compiler_config = compiler_config or CompilerConfig()
+    messages = messages or MessageConfig()
+    cfg = Cfg(kernel)
+    liveness = compute_liveness(cfg)
+    loops = _loop_candidate_regions(cfg)
+
+    candidates: List[OffloadCandidate] = []
+    rejected: List[str] = []
+    block_id = 0
+
+    for loop in loops:
+        outcome = _consider_loop(
+            kernel, cfg, liveness, loop, compiler_config, messages, warp_size, block_id
+        )
+        if isinstance(outcome, OffloadCandidate):
+            candidates.append(outcome)
+            block_id += 1
+        else:
+            rejected.append(outcome)
+
+    for start, end in _straight_line_regions(kernel, cfg, loops):
+        outcome = _consider_straight_line(
+            kernel, cfg, liveness, start, end, compiler_config, messages,
+            warp_size, block_id,
+        )
+        if isinstance(outcome, OffloadCandidate):
+            candidates.append(outcome)
+            block_id += 1
+        else:
+            rejected.append(outcome)
+
+    candidates.sort(key=lambda c: c.start)
+    renumbered = tuple(
+        OffloadCandidate(
+            kernel_name=c.kernel_name,
+            block_id=i,
+            start=c.start,
+            end=c.end,
+            is_loop=c.is_loop,
+            trip=c.trip,
+            reg_tx=c.reg_tx,
+            reg_rx=c.reg_rx,
+            const_live_in=c.const_live_in,
+            n_loads=c.n_loads,
+            n_stores=c.n_stores,
+            n_alu=c.n_alu,
+            access_ids=c.access_ids,
+            estimate=c.estimate,
+            condition=c.condition,
+        )
+        for i, c in enumerate(candidates)
+    )
+    return SelectionResult(
+        kernel_name=kernel.name,
+        candidates=renumbered,
+        rejected=tuple(rejected),
+    )
+
+
+def _strip_constants(
+    kernel: Kernel,
+    cfg: Cfg,
+    start: int,
+    end: int,
+    reg_tx: Tuple[str, ...],
+    compiler_config: CompilerConfig,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Split live-ins into (transmitted, constant-at-entry)."""
+    if not compiler_config.constant_propagation:
+        return reg_tx, ()
+    constants = constant_entry_registers(kernel, cfg, start, end, reg_tx)
+    transmitted = tuple(r for r in reg_tx if r not in constants)
+    return transmitted, tuple(sorted(constants))
+
+
+def _consider_loop(
+    kernel: Kernel,
+    cfg: Cfg,
+    liveness: LivenessResult,
+    loop: Loop,
+    compiler_config: CompilerConfig,
+    messages: MessageConfig,
+    warp_size: int,
+    block_id: int,
+):
+    span = f"loop [{loop.start},{loop.end})"
+    if not loop.contiguous:
+        return f"{span}: non-contiguous loop body"
+    reason = _region_disqualified(kernel, loop.start, loop.end, is_loop=True)
+    if reason is not None:
+        return f"{span}: {reason}"
+
+    loads, stores, alu, access_ids = _region_mix(kernel, loop.start, loop.end)
+    if loads + stores == 0:
+        return f"{span}: no global memory accesses"
+    reg_tx, reg_rx = loop_live_registers(
+        cfg, liveness, loop.blocks, loop.start, loop.end
+    )
+    reg_tx, const_live_in = _strip_constants(
+        kernel, cfg, loop.start, loop.end, reg_tx, compiler_config
+    )
+    trip = analyze_trip_count(kernel, cfg, loop)
+
+    iterations = trip.assumed_iterations()
+    estimate = estimate_with_config(
+        len(reg_tx), len(reg_rx), loads, stores,
+        compiler_config, messages, warp_size, iterations=iterations,
+    )
+
+    condition: Optional[OffloadCondition] = None
+    if trip.kind is TripKind.RUNTIME:
+        threshold = min_beneficial_iterations(
+            len(reg_tx), len(reg_rx), loads, stores,
+            warp_size=warp_size,
+            sc_ratio=messages.sc_ratio,
+            coal_ld=compiler_config.assumed_load_coalescing,
+            coal_st=compiler_config.assumed_store_coalescing,
+            miss_ld=compiler_config.assumed_load_miss_rate,
+        )
+        assert trip.bound_register is not None
+        condition = OffloadCondition(trip.bound_register, threshold)
+        # Estimate at the break-even point so the 2-bit tag reflects the
+        # traffic profile of instances that actually get offloaded.
+        estimate = estimate_with_config(
+            len(reg_tx), len(reg_rx), loads, stores,
+            compiler_config, messages, warp_size, iterations=threshold,
+        )
+    elif not estimate.is_beneficial:
+        return f"{span}: estimated traffic change {estimate.total:+.2f} (not beneficial)"
+
+    return OffloadCandidate(
+        kernel_name=kernel.name,
+        block_id=block_id,
+        start=loop.start,
+        end=loop.end,
+        is_loop=True,
+        trip=trip,
+        reg_tx=reg_tx,
+        reg_rx=reg_rx,
+        const_live_in=const_live_in,
+        n_loads=loads,
+        n_stores=stores,
+        n_alu=alu,
+        access_ids=access_ids,
+        estimate=estimate,
+        condition=condition,
+    )
+
+
+def _consider_straight_line(
+    kernel: Kernel,
+    cfg: Cfg,
+    liveness: LivenessResult,
+    start: int,
+    end: int,
+    compiler_config: CompilerConfig,
+    messages: MessageConfig,
+    warp_size: int,
+    block_id: int,
+):
+    span = f"block [{start},{end})"
+    reason = _region_disqualified(kernel, start, end, is_loop=False)
+    if reason is not None:
+        return f"{span}: {reason}"
+    loads, stores, alu, access_ids = _region_mix(kernel, start, end)
+    if loads + stores == 0:
+        return f"{span}: no global memory accesses"
+    reg_tx, reg_rx = region_live_registers(kernel, liveness, start, end)
+    reg_tx, const_live_in = _strip_constants(
+        kernel, cfg, start, end, reg_tx, compiler_config
+    )
+    estimate = estimate_with_config(
+        len(reg_tx), len(reg_rx), loads, stores,
+        compiler_config, messages, warp_size,
+    )
+    if not estimate.is_beneficial:
+        return f"{span}: estimated traffic change {estimate.total:+.2f} (not beneficial)"
+    return OffloadCandidate(
+        kernel_name=kernel.name,
+        block_id=block_id,
+        start=start,
+        end=end,
+        is_loop=False,
+        trip=None,
+        reg_tx=reg_tx,
+        reg_rx=reg_rx,
+        const_live_in=const_live_in,
+        n_loads=loads,
+        n_stores=stores,
+        n_alu=alu,
+        access_ids=access_ids,
+        estimate=estimate,
+        condition=None,
+    )

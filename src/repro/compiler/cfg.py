@@ -1,0 +1,152 @@
+"""Control-flow graph construction and dominator analysis.
+
+Basic blocks are maximal single-entry straight-line instruction runs.
+Dominators are computed with the classic iterative dataflow algorithm
+(kernels here are tiny, so simplicity beats the Lengauer-Tarjan
+machinery) and feed the natural-loop detection in :mod:`.loops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..errors import CompilerError
+from ..isa.instructions import Instruction
+from ..isa.kernel import Kernel
+
+
+@dataclass
+class BasicBlock:
+    """Instructions ``[start, end)`` of the kernel, plus CFG edges."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def instructions(self, kernel: Kernel) -> Sequence[Instruction]:
+        return kernel.instructions[self.start : self.end]
+
+
+class Cfg:
+    """The control-flow graph of one kernel."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.blocks: List[BasicBlock] = []
+        self._block_of_instr: List[int] = []
+        self._build()
+        self._dominators: List[Set[int]] = self._compute_dominators()
+
+    # -- construction --------------------------------------------------
+
+    def _leaders(self) -> List[int]:
+        kernel = self.kernel
+        leaders = {0}
+        for idx, instr in enumerate(kernel.instructions):
+            if instr.is_branch:
+                leaders.add(kernel.label_index(instr.target))
+                if idx + 1 < len(kernel):
+                    leaders.add(idx + 1)
+            elif instr.is_exit and idx + 1 < len(kernel):
+                leaders.add(idx + 1)
+        return sorted(leaders)
+
+    def _build(self) -> None:
+        kernel = self.kernel
+        leaders = self._leaders()
+        bounds = leaders + [len(kernel)]
+        for block_index, (start, end) in enumerate(zip(bounds, bounds[1:])):
+            self.blocks.append(BasicBlock(block_index, start, end))
+        self._block_of_instr = [0] * len(kernel)
+        for block in self.blocks:
+            for instr_index in range(block.start, block.end):
+                self._block_of_instr[instr_index] = block.index
+
+        for block in self.blocks:
+            last = kernel.instructions[block.end - 1]
+            if last.is_exit:
+                continue
+            if last.is_branch:
+                target_block = self._block_of_instr[
+                    kernel.label_index(last.target)
+                ]
+                self._add_edge(block.index, target_block)
+                if last.pred is not None and block.end < len(kernel):
+                    # conditional branch: fall-through edge too
+                    self._add_edge(block.index, self._block_of_instr[block.end])
+            else:
+                if block.end >= len(kernel):
+                    raise CompilerError(
+                        f"kernel {kernel.name!r} falls off the end of the "
+                        f"instruction stream"
+                    )
+                self._add_edge(block.index, self._block_of_instr[block.end])
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+        if src not in self.blocks[dst].predecessors:
+            self.blocks[dst].predecessors.append(src)
+
+    # -- queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block_of(self, instr_index: int) -> BasicBlock:
+        if not 0 <= instr_index < len(self._block_of_instr):
+            raise CompilerError(f"instruction index {instr_index} out of range")
+        return self.blocks[self._block_of_instr[instr_index]]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def reachable_blocks(self) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [0]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.blocks[index].successors)
+        return seen
+
+    # -- dominators -------------------------------------------------------
+
+    def _compute_dominators(self) -> List[Set[int]]:
+        n = len(self.blocks)
+        reachable = self.reachable_blocks()
+        full = set(range(n))
+        dom: List[Set[int]] = [full.copy() for _ in range(n)]
+        dom[0] = {0}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks[1:]:
+                if block.index not in reachable:
+                    continue
+                preds = [p for p in block.predecessors if p in reachable]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set()
+                new.add(block.index)
+                if new != dom[block.index]:
+                    dom[block.index] = new
+                    changed = True
+        return dom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        return a in self._dominators[b]
+
+    def dominators_of(self, block_index: int) -> FrozenSet[int]:
+        return frozenset(self._dominators[block_index])

@@ -1,0 +1,79 @@
+"""Constant-at-entry analysis for offload live-ins.
+
+A register in a candidate region's live-in set whose value at region
+entry is a compile-time constant does not need to be *transmitted*
+with the offload request: the compiler embeds the constant in the
+offloading metadata and the stack SM materializes it locally. The
+classic case is a loop's induction-variable initialization::
+
+    mov %n, 0          <- constant at entry (even though the loop
+loop:                      itself redefines %n every iteration)
+    ld.global %f, [%Lp + %n]
+    ...
+    add %n, %n, 1
+    ...
+
+This is how Figure 4 counts the LIBOR loop at *five* live-in values:
+``%n`` enters as the constant 0 and is excluded from the REG_TX cost.
+
+The analysis is deliberately conservative: a register qualifies only
+when its sole definition outside the region is a ``mov reg, imm``
+whose block dominates the region entry and which is not followed by
+any other outside write before entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..isa.instructions import Instruction, Opcode
+from ..isa.kernel import Kernel
+from .cfg import Cfg
+
+
+def constant_entry_registers(
+    kernel: Kernel,
+    cfg: Cfg,
+    start: int,
+    end: int,
+    candidates: Sequence[str],
+) -> Dict[str, object]:
+    """Subset of ``candidates`` that are constants at entry of
+    ``[start, end)``, mapped to their constant value."""
+    constants: Dict[str, object] = {}
+    entry_block = cfg.block_of(start).index
+    for register in candidates:
+        value = _constant_at_entry(kernel, cfg, start, end, entry_block, register)
+        if value is not None:
+            constants[register] = value
+    return constants
+
+
+def _constant_at_entry(
+    kernel: Kernel,
+    cfg: Cfg,
+    start: int,
+    end: int,
+    entry_block: int,
+    register: str,
+):
+    outside_defs: List[int] = []
+    for index, instr in enumerate(kernel.instructions):
+        if register in instr.writes and not start <= index < end:
+            outside_defs.append(index)
+    if len(outside_defs) != 1:
+        return None
+    def_index = outside_defs[0]
+    if def_index >= start:
+        return None  # defined after the region: not the entry value
+    instr = kernel.instructions[def_index]
+    if instr.opcode is not Opcode.MOV or not instr.srcs:
+        return None
+    value = instr.srcs[0]
+    if isinstance(value, str):
+        return None  # mov from another register: not a constant
+    # the defining block must dominate the region entry so the constant
+    # reaches it on every path
+    if not cfg.dominates(cfg.block_of(def_index).index, entry_block):
+        return None
+    return value

@@ -1,0 +1,183 @@
+"""The offload bandwidth cost/benefit model — Equations (1)-(4).
+
+All quantities are in *address-size message units* (4 bytes in the
+default configuration): the paper normalizes so that an address, a data
+word, and a register are each one unit and an acknowledgment is 1/4 of
+a unit.
+
+Thread granularity (Equations 1 and 2)::
+
+    BW_TX = REG_TX - (N_LD + 2 * N_ST)
+    BW_RX = REG_RX - (N_LD + 1/4 * N_ST)
+
+Warp granularity (Equations 3 and 4), with ``SW`` the warp size, ``SC``
+the cache-line/address size ratio, ``Coal*`` the average number of
+cache lines produced by one warp-level access, and ``Miss_LD`` the load
+miss rate::
+
+    BW_TX = REG_TX*SW - (N_LD*Coal_LD*Miss_LD + N_ST*(SW + Coal_ST))
+    BW_RX = REG_RX*SW - (N_LD*Coal_LD*SC*Miss_LD + 1/4*N_ST*Coal_ST)
+
+Negative totals mean offloading *saves* bandwidth. Loops multiply the
+load/store benefit terms by the iteration count while the register cost
+stays constant (Section 3.1.3); `min_beneficial_iterations` solves for
+the break-even count used by conditional offloading candidates.
+
+Worked example from Section 3.1.5 (LIBOR loop: 5 live-in registers, no
+live-outs, one load and one store per iteration): the total is +110.25
+for a single iteration and -39 at four iterations, so the loop becomes
+a conditional candidate with a 4-iteration threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import CompilerConfig, MessageConfig
+from ..errors import CompilerError
+
+
+@dataclass(frozen=True)
+class BandwidthEstimate:
+    """Estimated change in off-chip traffic from offloading one block
+    instance, in address-size units. Negative = saves bandwidth."""
+
+    bw_tx: float
+    bw_rx: float
+
+    @property
+    def total(self) -> float:
+        return self.bw_tx + self.bw_rx
+
+    @property
+    def is_beneficial(self) -> bool:
+        return self.total < 0
+
+    @property
+    def saves_tx(self) -> bool:
+        """First bit of the candidate's 2-bit channel tag (Section 3.1.2)."""
+        return self.bw_tx < 0
+
+    @property
+    def saves_rx(self) -> bool:
+        """Second bit of the candidate's 2-bit channel tag."""
+        return self.bw_rx < 0
+
+
+def thread_estimate(
+    reg_tx: int, reg_rx: int, n_loads: int, n_stores: int
+) -> BandwidthEstimate:
+    """Equations (1) and (2): per-thread, uncoalesced."""
+    _check_counts(reg_tx, reg_rx, n_loads, n_stores)
+    bw_tx = reg_tx - (n_loads + 2 * n_stores)
+    bw_rx = reg_rx - (n_loads + 0.25 * n_stores)
+    return BandwidthEstimate(bw_tx=bw_tx, bw_rx=bw_rx)
+
+
+def warp_estimate(
+    reg_tx: int,
+    reg_rx: int,
+    n_loads: int,
+    n_stores: int,
+    warp_size: int = 32,
+    sc_ratio: int = 32,
+    coal_ld: float = 1.0,
+    coal_st: float = 1.0,
+    miss_ld: float = 0.5,
+    iterations: int = 1,
+) -> BandwidthEstimate:
+    """Equations (3) and (4) with the Section 3.1.3 loop multiplier."""
+    _check_counts(reg_tx, reg_rx, n_loads, n_stores)
+    if iterations < 1:
+        raise CompilerError(f"iterations must be >= 1, got {iterations}")
+    loads = n_loads * iterations
+    stores = n_stores * iterations
+    bw_tx = reg_tx * warp_size - (
+        loads * coal_ld * miss_ld + stores * (warp_size + coal_st)
+    )
+    bw_rx = reg_rx * warp_size - (
+        loads * coal_ld * sc_ratio * miss_ld + 0.25 * stores * coal_st
+    )
+    return BandwidthEstimate(bw_tx=bw_tx, bw_rx=bw_rx)
+
+
+def per_iteration_saving(
+    n_loads: int,
+    n_stores: int,
+    warp_size: int = 32,
+    sc_ratio: int = 32,
+    coal_ld: float = 1.0,
+    coal_st: float = 1.0,
+    miss_ld: float = 0.5,
+) -> float:
+    """Units of TX+RX traffic saved by each loop iteration (positive)."""
+    tx = n_loads * coal_ld * miss_ld + n_stores * (warp_size + coal_st)
+    rx = n_loads * coal_ld * sc_ratio * miss_ld + 0.25 * n_stores * coal_st
+    return tx + rx
+
+
+def min_beneficial_iterations(
+    reg_tx: int,
+    reg_rx: int,
+    n_loads: int,
+    n_stores: int,
+    warp_size: int = 32,
+    sc_ratio: int = 32,
+    coal_ld: float = 1.0,
+    coal_st: float = 1.0,
+    miss_ld: float = 0.5,
+) -> int:
+    """Smallest iteration count at which offloading the loop saves
+    bandwidth, or a huge sentinel when no count can (no memory ops).
+
+    ``total(k) = (REG_TX + REG_RX) * SW - k * saving_per_iteration``;
+    the threshold is the smallest integer k with ``total(k) < 0``.
+    """
+    saving = per_iteration_saving(
+        n_loads, n_stores, warp_size, sc_ratio, coal_ld, coal_st, miss_ld
+    )
+    if saving <= 0:
+        return _NEVER
+    cost = (reg_tx + reg_rx) * warp_size
+    threshold = math.floor(cost / saving) + 1
+    return max(1, threshold)
+
+
+_NEVER = 1 << 30
+
+
+def estimate_with_config(
+    reg_tx: int,
+    reg_rx: int,
+    n_loads: int,
+    n_stores: int,
+    compiler_config: CompilerConfig,
+    messages: MessageConfig,
+    warp_size: int,
+    iterations: int = 1,
+) -> BandwidthEstimate:
+    """Convenience wrapper pulling SC/coalescing/miss-rate from configs."""
+    return warp_estimate(
+        reg_tx=reg_tx,
+        reg_rx=reg_rx,
+        n_loads=n_loads,
+        n_stores=n_stores,
+        warp_size=warp_size,
+        sc_ratio=messages.sc_ratio,
+        coal_ld=compiler_config.assumed_load_coalescing,
+        coal_st=compiler_config.assumed_store_coalescing,
+        miss_ld=compiler_config.assumed_load_miss_rate,
+        iterations=iterations,
+    )
+
+
+def _check_counts(reg_tx: int, reg_rx: int, n_loads: int, n_stores: int) -> None:
+    for name, value in (
+        ("reg_tx", reg_tx),
+        ("reg_rx", reg_rx),
+        ("n_loads", n_loads),
+        ("n_stores", n_stores),
+    ):
+        if value < 0:
+            raise CompilerError(f"{name} must be non-negative, got {value}")

@@ -1,0 +1,149 @@
+"""Register liveness at instruction granularity.
+
+The offload cost model needs, for each candidate region:
+
+* ``REG_TX`` — registers the main GPU must *transmit* with the offload
+  request: registers live at region entry that the region actually
+  reads (live-in ∩ used-in-region). Registers live across the region
+  but untouched by it stay in the main GPU's register file for free.
+* ``REG_RX`` — registers the stack SM must *return*: registers the
+  region writes that are live after the region exits.
+
+Standard backward dataflow over the CFG gives per-block live-in/out;
+a per-block backward scan then yields the live set before every
+instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..errors import CompilerError
+from ..isa.kernel import Kernel
+from .cfg import Cfg
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Liveness facts for one kernel."""
+
+    kernel_name: str
+    block_live_in: Tuple[FrozenSet[str], ...]
+    block_live_out: Tuple[FrozenSet[str], ...]
+    live_before: Tuple[FrozenSet[str], ...]  # per instruction index
+    live_after: Tuple[FrozenSet[str], ...]
+
+
+def _block_use_def(cfg: Cfg, block_index: int) -> Tuple[Set[str], Set[str]]:
+    """Upward-exposed uses and defs for a basic block."""
+    use: Set[str] = set()
+    defs: Set[str] = set()
+    for instr in cfg.blocks[block_index].instructions(cfg.kernel):
+        for reg in instr.reads:
+            if reg not in defs:
+                use.add(reg)
+        for reg in instr.writes:
+            defs.add(reg)
+    return use, defs
+
+
+def compute_liveness(cfg: Cfg) -> LivenessResult:
+    """Iterative backward dataflow, then per-instruction refinement."""
+    kernel = cfg.kernel
+    n_blocks = len(cfg.blocks)
+    use_def = [_block_use_def(cfg, b) for b in range(n_blocks)]
+    live_in: List[Set[str]] = [set() for _ in range(n_blocks)]
+    live_out: List[Set[str]] = [set() for _ in range(n_blocks)]
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            out: Set[str] = set()
+            for successor in block.successors:
+                out |= live_in[successor]
+            use, defs = use_def[block.index]
+            inn = use | (out - defs)
+            if out != live_out[block.index] or inn != live_in[block.index]:
+                live_out[block.index] = out
+                live_in[block.index] = inn
+                changed = True
+
+    live_before: List[FrozenSet[str]] = [frozenset()] * len(kernel)
+    live_after: List[FrozenSet[str]] = [frozenset()] * len(kernel)
+    for block in cfg.blocks:
+        live: Set[str] = set(live_out[block.index])
+        for idx in range(block.end - 1, block.start - 1, -1):
+            instr = kernel.instructions[idx]
+            live_after[idx] = frozenset(live)
+            live = (live - set(instr.writes)) | set(instr.reads)
+            live_before[idx] = frozenset(live)
+
+    return LivenessResult(
+        kernel_name=kernel.name,
+        block_live_in=tuple(frozenset(s) for s in live_in),
+        block_live_out=tuple(frozenset(s) for s in live_out),
+        live_before=tuple(live_before),
+        live_after=tuple(live_after),
+    )
+
+
+def region_live_registers(
+    kernel: Kernel,
+    liveness: LivenessResult,
+    start: int,
+    end: int,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(REG_TX, REG_RX) for the instruction region ``[start, end)``.
+
+    ``REG_TX``: live before ``start`` and read somewhere in the region.
+    ``REG_RX``: written in the region and live after ``end - 1``
+    along the region's exit (approximated by the live-after set of the
+    region's last instruction, which for single-exit regions — the only
+    ones the candidate selector accepts — is exact).
+    """
+    if not 0 <= start < end <= len(kernel):
+        raise CompilerError(f"region [{start}, {end}) out of range")
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    for idx in range(start, end):
+        instr = kernel.instructions[idx]
+        reads.update(instr.reads)
+        writes.update(instr.writes)
+    reg_tx = sorted(liveness.live_before[start] & reads)
+    reg_rx = sorted(writes & liveness.live_after[end - 1])
+    return tuple(reg_tx), tuple(reg_rx)
+
+
+def loop_live_registers(
+    cfg: Cfg,
+    liveness: LivenessResult,
+    loop_blocks: FrozenSet[int],
+    start: int,
+    end: int,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(REG_TX, REG_RX) for a loop region given as a block set.
+
+    REG_RX uses the *loop exit* live set — the union of ``live_in`` of
+    successor blocks outside the loop — rather than the back-branch's
+    live-after set, which would wrongly include loop-carried registers
+    (e.g. the induction variable) that die once the loop exits.
+    """
+    kernel = cfg.kernel
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    for idx in range(start, end):
+        instr = kernel.instructions[idx]
+        reads.update(instr.reads)
+        writes.update(instr.writes)
+
+    exit_live: Set[str] = set()
+    for block_index in loop_blocks:
+        for successor in cfg.blocks[block_index].successors:
+            if successor not in loop_blocks:
+                exit_live |= liveness.block_live_in[successor]
+
+    reg_tx = sorted(liveness.live_before[start] & reads)
+    reg_rx = sorted(writes & exit_live)
+    return tuple(reg_tx), tuple(reg_rx)

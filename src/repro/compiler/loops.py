@@ -1,0 +1,224 @@
+"""Natural-loop detection and trip-count analysis (Section 3.1.3).
+
+The compiler distinguishes three kinds of loop trip count:
+
+* ``STATIC`` — the count is a compile-time constant (init, bound, and
+  step are all immediates). The cost model multiplies the per-iteration
+  benefit by the count.
+* ``RUNTIME`` — the bound register is defined before the loop is
+  entered, so the hardware can evaluate an offload condition
+  (``bound >= threshold``) at run time: a *conditional offloading
+  candidate*.
+* ``UNKNOWN`` — the exit condition is computed inside the loop body
+  (e.g. a data-dependent break); the compiler conservatively assumes a
+  single iteration.
+
+The recognizer mirrors the paper's tool (Section 5.2): a loop is a
+backward branch whose predicate comes from a ``setp`` comparing an
+induction register (updated by a simple add/sub in the body) against a
+bound operand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..errors import CompilerError
+from ..isa.instructions import Instruction, Opcode, is_register
+from ..isa.kernel import Kernel
+from .cfg import BasicBlock, Cfg
+
+
+class TripKind(enum.Enum):
+    STATIC = "static"
+    RUNTIME = "runtime"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class TripInfo:
+    """What the compiler could prove about a loop's iteration count."""
+
+    kind: TripKind
+    static_count: Optional[int] = None
+    bound_register: Optional[str] = None
+    induction_register: Optional[str] = None
+    step: Optional[int] = None
+
+    def assumed_iterations(self) -> int:
+        """Iterations to plug into the cost model (Section 3.1.3)."""
+        if self.kind is TripKind.STATIC:
+            assert self.static_count is not None
+            return self.static_count
+        return 1
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop: header block plus body block set.
+
+    ``start``/``end`` give the contiguous instruction range
+    ``[start, end)`` covering every block of the loop (our kernels are
+    reducible with contiguous loops; a non-contiguous loop is rejected
+    as an offload candidate but still reported here).
+    """
+
+    header: int
+    blocks: frozenset
+    back_edge: Tuple[int, int]
+    start: int
+    end: int
+    contiguous: bool
+
+    def contains_block(self, block_index: int) -> bool:
+        return block_index in self.blocks
+
+
+def find_loops(cfg: Cfg) -> List[Loop]:
+    """All natural loops, outermost first (by body size, descending)."""
+    loops: List[Loop] = []
+    for block in cfg.blocks:
+        for successor in block.successors:
+            if cfg.dominates(successor, block.index):
+                loops.append(_natural_loop(cfg, successor, block.index))
+    loops.sort(key=lambda loop: (-len(loop.blocks), loop.header))
+    return loops
+
+
+def _natural_loop(cfg: Cfg, header: int, tail: int) -> Loop:
+    body: Set[int] = {header, tail}
+    stack = [tail]
+    while stack:
+        index = stack.pop()
+        if index == header:
+            continue
+        for pred in cfg.blocks[index].predecessors:
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    start = min(cfg.blocks[b].start for b in body)
+    end = max(cfg.blocks[b].end for b in body)
+    covered = sum(len(cfg.blocks[b]) for b in body)
+    return Loop(
+        header=header,
+        blocks=frozenset(body),
+        back_edge=(tail, header),
+        start=start,
+        end=end,
+        contiguous=(covered == end - start),
+    )
+
+
+def _defining_instructions(kernel: Kernel, register: str) -> List[int]:
+    return [
+        idx
+        for idx, instr in enumerate(kernel.instructions)
+        if register in instr.writes
+    ]
+
+
+def analyze_trip_count(kernel: Kernel, cfg: Cfg, loop: Loop) -> TripInfo:
+    """Classify the loop per Section 3.1.3. Unrecognized shapes are
+    conservatively UNKNOWN rather than an error."""
+    back_branch = _back_branch(kernel, cfg, loop)
+    if back_branch is None or back_branch.pred is None:
+        return TripInfo(TripKind.UNKNOWN)
+
+    setp = _predicate_definition(kernel, loop, back_branch.pred)
+    if setp is None or len(setp.srcs) < 2:
+        return TripInfo(TripKind.UNKNOWN)
+
+    induction, bound, step = _split_induction(kernel, loop, setp)
+    if induction is None:
+        return TripInfo(TripKind.UNKNOWN)
+
+    if not is_register(bound):
+        init = _induction_init(kernel, loop, induction)
+        if init is not None and step:
+            distance = int(bound) - init
+            if (step > 0) == (distance > 0) and distance != 0:
+                count = (abs(distance) + abs(step) - 1) // abs(step)
+                return TripInfo(
+                    TripKind.STATIC,
+                    static_count=count,
+                    induction_register=induction,
+                    step=step,
+                )
+        return TripInfo(TripKind.UNKNOWN, induction_register=induction, step=step)
+
+    # Bound is a register: RUNTIME if every definition is outside the loop.
+    defs = _defining_instructions(kernel, bound)
+    defined_inside = any(
+        loop.contains_block(cfg.block_of(d).index) for d in defs
+    )
+    if defined_inside:
+        return TripInfo(TripKind.UNKNOWN, induction_register=induction, step=step)
+    return TripInfo(
+        TripKind.RUNTIME,
+        bound_register=bound,
+        induction_register=induction,
+        step=step,
+    )
+
+
+def _back_branch(kernel: Kernel, cfg: Cfg, loop: Loop) -> Optional[Instruction]:
+    tail_block = cfg.blocks[loop.back_edge[0]]
+    last = kernel.instructions[tail_block.end - 1]
+    return last if last.is_branch else None
+
+
+def _predicate_definition(
+    kernel: Kernel, loop: Loop, pred: str
+) -> Optional[Instruction]:
+    """The last setp in the loop body writing the branch predicate."""
+    for idx in range(loop.end - 1, loop.start - 1, -1):
+        instr = kernel.instructions[idx]
+        if pred in instr.writes:
+            return instr if instr.opcode is Opcode.SETP else None
+    return None
+
+
+def _split_induction(kernel: Kernel, loop: Loop, setp: Instruction):
+    """Identify which setp operand is the induction register.
+
+    The induction register is written inside the loop by a simple
+    ``add``/``sub`` with an immediate step; the other operand is the
+    bound.
+    """
+    candidates = list(setp.srcs[:2])
+    for position, operand in enumerate(candidates):
+        if not is_register(operand):
+            continue
+        step = _induction_step(kernel, loop, operand)
+        if step is not None:
+            bound = candidates[1 - position]
+            return operand, bound, step
+    return None, None, None
+
+
+def _induction_step(kernel: Kernel, loop: Loop, register: str) -> Optional[int]:
+    for idx in range(loop.start, loop.end):
+        instr = kernel.instructions[idx]
+        if register not in instr.writes:
+            continue
+        if instr.opcode in (Opcode.ADD, Opcode.SUB) and register in instr.reads:
+            immediates = [s for s in instr.srcs if isinstance(s, int)]
+            if len(immediates) == 1:
+                step = immediates[0]
+                return -step if instr.opcode is Opcode.SUB else step
+        return None
+    return None
+
+
+def _induction_init(kernel: Kernel, loop: Loop, register: str) -> Optional[int]:
+    """Immediate initial value of the induction register, if the last
+    write before the loop is ``mov reg, imm``."""
+    for idx in range(loop.start - 1, -1, -1):
+        instr = kernel.instructions[idx]
+        if register in instr.writes:
+            if instr.opcode is Opcode.MOV and isinstance(instr.srcs[0], int):
+                return instr.srcs[0]
+            return None
+    return None

@@ -1,0 +1,117 @@
+"""The offloading metadata table (Section 4.2).
+
+The compiler hands the hardware one table entry per candidate:
+begin/end PCs, live-in/live-out register bit vectors, the 2-bit TX/RX
+savings tag, and the offload condition for conditional candidates.
+The paper sizes each entry at 258 bits (CUDA PTX ISA 1.4 register
+budget) and reserves 40 entries per SM — twice the largest candidate
+count observed across the workloads; Section 6.6's area estimate is
+built from these numbers, which this module reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import CompilerError
+from .candidates import OffloadCandidate, OffloadCondition, SelectionResult
+
+#: Bits per metadata entry, following Section 6.6: two PCs (2 x 32),
+#: live-in and live-out register bit vectors (2 x 64 for the PTX 1.4
+#: register budget, plus 2 x 8 counts), the 2-bit channel tag, and a
+#: condition field (register id + threshold).
+PC_BITS = 32
+REGMASK_BITS = 64
+REGCOUNT_BITS = 8
+TAG_BITS = 2
+CONDITION_BITS = 48
+
+ENTRY_BITS = 2 * PC_BITS + 2 * REGMASK_BITS + 2 * REGCOUNT_BITS + TAG_BITS + CONDITION_BITS
+assert ENTRY_BITS == 258, ENTRY_BITS
+
+#: Entries provisioned per SM (2x the max observed candidate count).
+TABLE_ENTRIES = 40
+
+
+@dataclass(frozen=True)
+class MetadataEntry:
+    """Hardware view of one offloading candidate."""
+
+    block_id: int
+    begin_pc: int
+    end_pc: int
+    live_in: Tuple[str, ...]
+    live_out: Tuple[str, ...]
+    saves_tx: bool
+    saves_rx: bool
+    condition: Optional[OffloadCondition]
+    #: ALU share of the block's per-iteration instructions; consumed by
+    #: the optional ALU-aware aggressiveness control (Section 6.4's
+    #: future-work extension)
+    alu_fraction: float = 0.0
+
+    @property
+    def tag(self) -> int:
+        """2-bit channel tag: bit0 = saves TX, bit1 = saves RX."""
+        return (1 if self.saves_tx else 0) | (2 if self.saves_rx else 0)
+
+    @property
+    def bits(self) -> int:
+        return ENTRY_BITS
+
+
+class OffloadMetadataTable:
+    """Per-kernel table placed in shared memory by the compiler."""
+
+    def __init__(self, selection: SelectionResult) -> None:
+        if len(selection.candidates) > TABLE_ENTRIES:
+            raise CompilerError(
+                f"kernel {selection.kernel_name!r} has "
+                f"{len(selection.candidates)} candidates; the hardware table "
+                f"holds {TABLE_ENTRIES}"
+            )
+        self.kernel_name = selection.kernel_name
+        self.entries: Tuple[MetadataEntry, ...] = tuple(
+            MetadataEntry(
+                block_id=c.block_id,
+                begin_pc=c.start,
+                end_pc=c.end,
+                live_in=c.reg_tx,
+                live_out=c.reg_rx,
+                saves_tx=c.saves_tx,
+                saves_rx=c.saves_rx,
+                condition=c.condition,
+                alu_fraction=c.n_alu / max(1, c.instructions_per_iteration),
+            )
+            for c in selection.candidates
+        )
+        self._by_block = {entry.block_id: entry for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, block_id: int) -> MetadataEntry:
+        try:
+            return self._by_block[block_id]
+        except KeyError:
+            raise CompilerError(
+                f"no metadata entry for block {block_id} in kernel "
+                f"{self.kernel_name!r}"
+            ) from None
+
+    def lookup_by_pc(self, pc: int) -> Optional[MetadataEntry]:
+        """Entry whose begin PC matches, as the Instruction Buffer would."""
+        for entry in self.entries:
+            if entry.begin_pc == pc:
+                return entry
+        return None
+
+    @property
+    def storage_bits(self) -> int:
+        """Provisioned size (the hardware allocates all TABLE_ENTRIES)."""
+        return TABLE_ENTRIES * ENTRY_BITS
+
+    @property
+    def used_bits(self) -> int:
+        return len(self.entries) * ENTRY_BITS

@@ -1,0 +1,146 @@
+"""High-level experiment drivers used by examples and benchmarks.
+
+:class:`WorkloadRunner` generates one trace per (workload, scale, seed)
+and runs any number of policies against it, so policy comparisons are
+always apples-to-apples (same addresses, same iteration counts).
+:func:`run_suite` sweeps the full 10-workload suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..config import SystemConfig, baseline_config, ndp_config
+from ..errors import ConfigError
+from ..trace.generator import TraceScale, WorkloadTrace, build_trace
+from ..utils.stats import geometric_mean
+from ..workloads.base import PaperWorkload, make_workload
+from ..workloads.suite import SUITE_ORDER
+from .policies import BASELINE, RunPolicy
+from .results import SimulationResult
+from .simulator import Simulator
+
+
+class WorkloadRunner:
+    """One workload, one trace, many policies."""
+
+    def __init__(
+        self,
+        workload: Union[str, PaperWorkload],
+        scale: TraceScale = TraceScale.SMALL,
+        seed: int = 0,
+        ndp_configuration: Optional[SystemConfig] = None,
+        baseline_configuration: Optional[SystemConfig] = None,
+    ) -> None:
+        self.model = (
+            make_workload(workload) if isinstance(workload, str) else workload
+        )
+        self.scale = scale
+        self.seed = seed
+        self.ndp_configuration = ndp_configuration or ndp_config()
+        self.baseline_configuration = baseline_configuration or baseline_config()
+        self.trace: WorkloadTrace = build_trace(
+            self.model, self.ndp_configuration, scale, seed
+        )
+        self._cache: Dict[str, SimulationResult] = {}
+
+    def run(
+        self,
+        policy: RunPolicy,
+        configuration: Optional[SystemConfig] = None,
+        oracle_position: Optional[int] = None,
+        cache: bool = True,
+    ) -> SimulationResult:
+        """Simulate one policy; results are cached per policy label
+        unless a custom configuration is supplied."""
+        custom = configuration is not None
+        key = policy.label
+        if cache and not custom and key in self._cache:
+            return self._cache[key]
+        if configuration is None:
+            configuration = (
+                self.baseline_configuration
+                if not policy.offloads
+                else self.ndp_configuration
+            )
+        result = Simulator(
+            self.trace, configuration, policy, oracle_position
+        ).run()
+        if cache and not custom:
+            self._cache[key] = result
+        return result
+
+    def baseline(self) -> SimulationResult:
+        return self.run(BASELINE)
+
+    def speedup(self, policy: RunPolicy, **kwargs) -> float:
+        return self.run(policy, **kwargs).speedup_over(self.baseline())
+
+    def traffic_ratio(self, policy: RunPolicy, **kwargs) -> float:
+        return self.run(policy, **kwargs).traffic_ratio_over(self.baseline())
+
+    def energy_ratio(self, policy: RunPolicy, **kwargs) -> float:
+        return self.run(policy, **kwargs).energy_ratio_over(self.baseline())
+
+
+def run_suite(
+    policies: Sequence[RunPolicy],
+    scale: TraceScale = TraceScale.SMALL,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    ndp_configuration: Optional[SystemConfig] = None,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every policy (plus the baseline) on every suite workload.
+
+    Returns ``{workload: {policy_label: result}}``; the baseline run is
+    always included under ``"baseline"``.
+    """
+    names = list(workloads) if workloads is not None else list(SUITE_ORDER)
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for name in names:
+        runner = WorkloadRunner(
+            name, scale=scale, seed=seed, ndp_configuration=ndp_configuration
+        )
+        per_policy = {"baseline": runner.baseline()}
+        for policy in policies:
+            per_policy[policy.label] = runner.run(policy)
+        results[name] = per_policy
+    return results
+
+
+def suite_speedups(
+    results: Dict[str, Dict[str, SimulationResult]], policy_label: str
+) -> Dict[str, float]:
+    """Per-workload speedups plus the suite average (AVG key)."""
+    speedups: Dict[str, float] = {}
+    for name, per_policy in results.items():
+        if policy_label not in per_policy:
+            raise ConfigError(f"no run of {policy_label!r} for {name}")
+        speedups[name] = per_policy[policy_label].speedup_over(
+            per_policy["baseline"]
+        )
+    speedups["AVG"] = geometric_mean(
+        [v for k, v in speedups.items() if k != "AVG"]
+    )
+    return speedups
+
+
+def suite_ratios(
+    results: Dict[str, Dict[str, SimulationResult]],
+    policy_label: str,
+    metric: str = "traffic",
+) -> Dict[str, float]:
+    """Per-workload traffic or energy ratios vs. baseline (+ AVG)."""
+    ratios: Dict[str, float] = {}
+    for name, per_policy in results.items():
+        run = per_policy[policy_label]
+        base = per_policy["baseline"]
+        if metric == "traffic":
+            ratios[name] = run.traffic_ratio_over(base)
+        elif metric == "energy":
+            ratios[name] = run.energy_ratio_over(base)
+        else:
+            raise ConfigError(f"unknown metric {metric!r}")
+    ratios["AVG"] = geometric_mean([v for k, v in ratios.items() if k != "AVG"])
+    return ratios

@@ -1,0 +1,142 @@
+"""System assembly: build every hardware component for one simulation.
+
+:class:`NDPSystem` wires together the engine, SMs, caches, link fabric,
+memory stacks, and the TOM hardware (offload controller, channel busy
+monitor, coherence protocol) according to a :class:`SystemConfig` and a
+:class:`RunPolicy`. The simulator in :mod:`.simulator` drives it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+from ..gpu.sm import StreamingMultiprocessor, build_main_sms, build_stack_sms
+from ..interconnect.links import LinkFabric
+from ..interconnect.packets import PacketSizes
+from ..memory.cache import Cache
+from ..memory.dram import MemoryStack, build_stacks
+from ..ndp.coherence import CoherenceProtocol
+from ..ndp.controller import OffloadController
+from ..ndp.monitor import ChannelBusyMonitor
+from ..ndp.translation import StackTranslation
+from ..utils.simcore import Engine, SlotPool
+from .policies import OffloadPolicy, RunPolicy
+
+#: Slot capacity used for the IDEAL offload policy's stack SMs
+#: ("no overhead for offloading", Figure 2).
+_UNBOUNDED_SLOTS = 1 << 20
+_IDEAL_ISSUE_RATE = 1 << 20
+
+
+class _IssueBacklogSignal:
+    """Compute-pressure signal for the ALU-aware control (Section 6.4):
+    instantaneous booked-ahead time of an issue pipeline, normalized by
+    a backlog limit. Unlike a windowed average, this reacts within the
+    burst of launch-time offload decisions."""
+
+    def __init__(self, resource, backlog_limit_cycles: float) -> None:
+        self._resource = resource
+        self._limit = max(1.0, backlog_limit_cycles)
+
+    def utilization(self) -> float:
+        return min(1.0, self._resource.queue_delay() / self._limit)
+
+
+class NDPSystem:
+    """All hardware state for one run."""
+
+    def __init__(self, config: SystemConfig, policy: RunPolicy) -> None:
+        if policy.offloads and not config.ndp_enabled:
+            raise ConfigError(
+                f"policy {policy.label!r} offloads but the configuration is "
+                "the non-NDP baseline"
+            )
+        self.config = config
+        self.policy = policy
+        self.engine = Engine()
+        self.fabric = LinkFabric(self.engine, config)
+        self.packets = PacketSizes(config.messages)
+        self.stacks: List[MemoryStack] = build_stacks(self.engine, config)
+        self.main_sms: List[StreamingMultiprocessor] = build_main_sms(
+            self.engine, config
+        )
+        self.stack_sms: List[StreamingMultiprocessor] = (
+            build_stack_sms(self.engine, config) if config.ndp_enabled else []
+        )
+        self.l2 = Cache(
+            config.gpu.l2_bytes,
+            config.gpu.l2_ways,
+            config.messages.cache_line_bytes,
+            name="L2",
+        )
+        self.monitor: Optional[ChannelBusyMonitor] = (
+            ChannelBusyMonitor(self.engine, self.fabric, config)
+            if policy.dynamic_control
+            else None
+        )
+        issue_monitors = None
+        if policy.dynamic_control and config.control.alu_aware_control:
+            issue_monitors = [
+                _IssueBacklogSignal(
+                    sm.issue, config.control.monitor_window_cycles / 4.0
+                )
+                for sm in self.stack_sms
+            ]
+        self.controller = OffloadController(
+            config,
+            self.monitor,
+            dynamic_control=policy.dynamic_control,
+            issue_monitors=issue_monitors,
+        )
+        self.coherence = CoherenceProtocol(config)
+        self.translations: Optional[List[StackTranslation]] = None
+        if config.translation.enabled and config.ndp_enabled:
+            self.translations = [
+                StackTranslation(config, stack_id)
+                for stack_id in range(config.stacks.n_stacks)
+            ]
+        if policy.offload is OffloadPolicy.IDEAL:
+            self._make_stack_sms_ideal()
+
+    def _make_stack_sms_ideal(self) -> None:
+        """Figure 2's idealized offload: unbounded stack-SM warp slots
+        and issue throughput — memory bandwidth is the only limit."""
+        for sm in self.stack_sms:
+            sm.slots = SlotPool(
+                self.engine, f"{sm.name}/slots", _UNBOUNDED_SLOTS
+            )
+            sm.issue.rate = float(_IDEAL_ISSUE_RATE)
+        self.controller.max_pending = _UNBOUNDED_SLOTS
+
+    # -- aggregate statistics ------------------------------------------
+
+    @property
+    def n_sms_powered(self) -> int:
+        return len(self.main_sms) + len(self.stack_sms)
+
+    def total_dram_activations(self) -> int:
+        return sum(stack.total_activations for stack in self.stacks)
+
+    def total_dram_bytes(self) -> float:
+        return float(sum(stack.total_bytes for stack in self.stacks))
+
+    def dram_row_hit_rate(self) -> float:
+        requests = sum(stack.total_requests for stack in self.stacks)
+        if requests == 0:
+            return 0.0
+        hits = sum(
+            vault.stats.row_hits for stack in self.stacks for vault in stack.vaults
+        )
+        return hits / requests
+
+    def l1_load_miss_rate(self) -> float:
+        loads = sum(sm.l1.stats.loads for sm in self.main_sms)
+        if loads == 0:
+            return 0.0
+        misses = sum(sm.l1.stats.load_misses for sm in self.main_sms)
+        return misses / loads
+
+    def main_sm_for(self, warp_id: int) -> StreamingMultiprocessor:
+        return self.main_sms[warp_id % len(self.main_sms)]

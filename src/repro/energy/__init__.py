@@ -1,0 +1,20 @@
+"""Energy and area models."""
+
+from .area import (
+    GPU_AREA_MM2,
+    MM2_PER_BIT,
+    PAPER_TOTAL_MM2,
+    AreaEstimate,
+    estimate_area,
+)
+from .model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "AreaEstimate",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "GPU_AREA_MM2",
+    "MM2_PER_BIT",
+    "PAPER_TOTAL_MM2",
+    "estimate_area",
+]

@@ -1,0 +1,79 @@
+"""Area estimation for TOM's added storage (Section 6.6).
+
+The paper's accounting, reproduced exactly:
+
+* Memory Map Analyzer: 40 bits per in-flight candidate instance
+  (10 potential mappings x 4-bit counters in a 4-stack system) x
+  48 warps/SM = **1,920 bits per SM**;
+* Memory allocation table: 97 bits per entry (48-bit virtual address
+  space) x 100 entries = **9,700 bits**, shared across SMs;
+* Offloading metadata table: 258 bits per entry (PTX ISA 1.4 register
+  budget) x 40 entries = **10,320 bits per SM**.
+
+With CACTI 6.5 at 40 nm the paper reports **0.11 mm²** total —
+0.018% of the modelled GPU. We reproduce the bit math exactly and
+calibrate a single mm²-per-bit constant to the published total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.metadata import ENTRY_BITS as METADATA_ENTRY_BITS
+from ..compiler.metadata import TABLE_ENTRIES as METADATA_ENTRIES
+from ..config import SystemConfig
+from ..memory.allocation import TABLE_BITS as ALLOCATION_TABLE_BITS
+from ..ndp.analyzer import BITS_PER_INSTANCE
+
+#: The paper's published results (Section 6.6) used for calibration.
+PAPER_TOTAL_MM2 = 0.11
+PAPER_GPU_FRACTION = 0.00018  # 0.018%
+GPU_AREA_MM2 = PAPER_TOTAL_MM2 / PAPER_GPU_FRACTION  # ~611 mm^2
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Bit counts and derived area for one configuration."""
+
+    analyzer_bits_per_sm: int
+    metadata_bits_per_sm: int
+    allocation_table_bits: int
+    n_sms: int
+    mm2_per_bit: float
+
+    @property
+    def per_sm_bits(self) -> int:
+        return self.analyzer_bits_per_sm + self.metadata_bits_per_sm
+
+    @property
+    def total_bits(self) -> int:
+        return self.per_sm_bits * self.n_sms + self.allocation_table_bits
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_bits * self.mm2_per_bit
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.total_mm2 / GPU_AREA_MM2
+
+
+def _default_total_bits(n_sms: int, warps_per_sm: int) -> int:
+    per_sm = BITS_PER_INSTANCE * warps_per_sm + METADATA_ENTRY_BITS * METADATA_ENTRIES
+    return per_sm * n_sms + ALLOCATION_TABLE_BITS
+
+
+#: mm^2 per bit calibrated so the default NDP configuration (64 SMs,
+#: 48 warps/SM) reproduces the paper's 0.11 mm^2.
+MM2_PER_BIT = PAPER_TOTAL_MM2 / _default_total_bits(64, 48)
+
+
+def estimate_area(config: SystemConfig) -> AreaEstimate:
+    """Storage area added by TOM for ``config``."""
+    return AreaEstimate(
+        analyzer_bits_per_sm=BITS_PER_INSTANCE * config.gpu.warps_per_sm,
+        metadata_bits_per_sm=METADATA_ENTRY_BITS * METADATA_ENTRIES,
+        allocation_table_bits=ALLOCATION_TABLE_BITS,
+        n_sms=config.gpu.n_sms,
+        mm2_per_bit=MM2_PER_BIT,
+    )

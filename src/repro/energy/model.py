@@ -1,0 +1,86 @@
+"""Energy accounting (Section 5.1's models, reduced to counters).
+
+The paper combines GPUWattch (SMs + on-chip interconnect), a 2 pJ/bit
+active / 1.5 pJ/bit/cycle idle off-chip link model [27], and the Rambus
+3D-DRAM model (11.8 nJ per 4 KB row activation, 4 pJ/bit read) [57].
+All of those reduce to event counts the simulator already produces:
+
+* SM energy     = dynamic (pJ/warp-instruction x lanes) + leakage
+                  (W per SM x elapsed time);
+* link energy   = active bits x 2 pJ + idle bit-cycles x 1.5 pJ;
+* DRAM energy   = activations x 11.8 nJ + bits served x 4 pJ.
+
+Figure 10 stacks exactly these three segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per Figure 10 segment."""
+
+    sm_j: float
+    links_j: float
+    dram_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.sm_j + self.links_j + self.dram_j
+
+    def fraction(self, segment: str) -> float:
+        total = self.total_j
+        if total == 0:
+            raise AnalysisError("energy breakdown is all zero")
+        return getattr(self, f"{segment}_j") / total
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.sm_j * factor, self.links_j * factor, self.dram_j * factor
+        )
+
+
+class EnergyModel:
+    """Binds the Section 5.1 constants to one system configuration."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def compute(
+        self,
+        elapsed_cycles: float,
+        warp_instructions: float,
+        n_sms_powered: int,
+        link_active_bits: float,
+        link_idle_bit_cycles: float,
+        dram_activations: int,
+        dram_bytes: float,
+        warp_size: int = 32,
+    ) -> EnergyBreakdown:
+        if elapsed_cycles < 0:
+            raise AnalysisError(f"negative elapsed time {elapsed_cycles}")
+        energy = self.config.energy
+        seconds = elapsed_cycles * self.config.cycle_seconds
+
+        sm_dynamic = (
+            warp_instructions * warp_size * energy.sm_dynamic_pj_per_instr * 1e-12
+        )
+        sm_leakage = n_sms_powered * energy.sm_leakage_w_per_sm * seconds
+        sm_j = sm_dynamic + sm_leakage
+
+        links_j = (
+            link_active_bits * energy.link_pj_per_bit
+            + link_idle_bit_cycles * energy.link_idle_pj_per_bit_cycle
+        ) * 1e-12
+
+        dram_j = (
+            dram_activations * energy.row_activate_nj * 1e-9
+            + dram_bytes * 8.0 * energy.dram_read_pj_per_bit * 1e-12
+        )
+
+        return EnergyBreakdown(sm_j=sm_j, links_j=links_j, dram_j=dram_j)

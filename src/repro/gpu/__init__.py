@@ -1,0 +1,28 @@
+"""GPU-side structures: coalescer, warp tasks, SM resources."""
+
+from .coalescer import CoalescedAccess, Coalescer
+from .sm import StreamingMultiprocessor, build_main_sms, build_stack_sms
+from .warp import (
+    CandidateSegment,
+    PlainSegment,
+    Segment,
+    WarpAccess,
+    WarpTask,
+    count_candidate_instances,
+    total_trace_instructions,
+)
+
+__all__ = [
+    "CandidateSegment",
+    "CoalescedAccess",
+    "Coalescer",
+    "PlainSegment",
+    "Segment",
+    "StreamingMultiprocessor",
+    "WarpAccess",
+    "WarpTask",
+    "build_main_sms",
+    "build_stack_sms",
+    "count_candidate_instances",
+    "total_trace_instructions",
+]

@@ -1,0 +1,69 @@
+"""Warp-level memory-access coalescing.
+
+The load-store unit merges the 32 per-lane addresses of one warp memory
+instruction into unique cache-line requests. The compiler's cost model
+assumes perfect coalescing (ratio 1); the simulator uses the *actual*
+ratio produced here, which is where aggressive candidates can fail to
+pay off (footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from ..utils.bitops import ilog2
+
+
+@dataclass(frozen=True)
+class CoalescedAccess:
+    """Unique line-start byte addresses touched by one warp instruction."""
+
+    line_addresses: Tuple[int, ...]
+    active_lanes: int
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.line_addresses)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Lines per warp access (1.0 = perfectly coalesced)."""
+        return self.n_lines
+
+
+class Coalescer:
+    """Stateless line-merging; kept as a class so stats can accumulate."""
+
+    def __init__(self, line_bytes: int) -> None:
+        self.line_bytes = line_bytes
+        self.line_bits = ilog2(line_bytes)
+        self.warp_accesses = 0
+        self.total_lines = 0
+
+    def coalesce(self, lane_addresses: np.ndarray) -> CoalescedAccess:
+        """Merge per-lane byte addresses into unique line addresses.
+
+        ``lane_addresses`` holds one byte address per active lane
+        (inactive lanes are simply absent).
+        """
+        if lane_addresses.size == 0:
+            raise TraceError("coalescing an access with no active lanes")
+        if np.any(lane_addresses < 0):
+            raise TraceError("negative address in warp access")
+        lines = np.unique(lane_addresses >> self.line_bits) << self.line_bits
+        self.warp_accesses += 1
+        self.total_lines += int(lines.size)
+        return CoalescedAccess(
+            line_addresses=tuple(int(a) for a in lines),
+            active_lanes=int(lane_addresses.size),
+        )
+
+    @property
+    def average_ratio(self) -> float:
+        if self.warp_accesses == 0:
+            return 0.0
+        return self.total_lines / self.warp_accesses

@@ -1,0 +1,87 @@
+"""Streaming multiprocessor resource bundles.
+
+A main-GPU SM is a warp-slot pool (48 warps, Table 1) plus an issue
+pipeline (a bandwidth resource in units of warp instructions per
+cycle) plus a private write-through L1. A stack SM is the same bundle
+with the warp capacity scaled by the Figure 11/12 multiplier and its
+own small private cache (Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import SystemConfig
+from ..memory.cache import Cache
+from ..utils.simcore import BandwidthResource, Engine, SlotPool
+
+
+class StreamingMultiprocessor:
+    """One SM: warp slots + issue pipeline + private L1."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        warp_slots: int,
+        issue_per_cycle: float,
+        l1_bytes: int,
+        l1_ways: int,
+        line_bytes: int,
+        cta_slots: int = 0,
+    ) -> None:
+        self.name = name
+        self.slots = SlotPool(engine, f"{name}/slots", warp_slots)
+        # CTA residency: warp *tasks* (CTA-scale work units) are admitted
+        # through this pool, so new work enters only as resident work
+        # retires — the self-clocking that keeps queue depths bounded on
+        # real GPUs. Stack SMs admit through `slots` instead.
+        self.cta_slots = SlotPool(
+            engine, f"{name}/ctas", cta_slots if cta_slots > 0 else warp_slots
+        )
+        self.issue = BandwidthResource(engine, f"{name}/issue", issue_per_cycle)
+        self.l1 = Cache(l1_bytes, l1_ways, line_bytes, name=f"{name}/L1")
+        self.instructions_issued = 0
+
+    def charge_instructions(self, count: int) -> float:
+        """Book ``count`` warp instructions on the issue pipeline;
+        returns completion time."""
+        self.instructions_issued += count
+        return self.issue.reserve(count)
+
+
+def build_main_sms(engine: Engine, config: SystemConfig) -> List[StreamingMultiprocessor]:
+    gpu = config.gpu
+    return [
+        StreamingMultiprocessor(
+            engine,
+            name=f"sm{i}",
+            warp_slots=gpu.warps_per_sm,
+            issue_per_cycle=gpu.issue_per_cycle,
+            l1_bytes=gpu.l1_bytes,
+            l1_ways=gpu.l1_ways,
+            line_bytes=config.messages.cache_line_bytes,
+            cta_slots=gpu.max_ctas_per_sm,
+        )
+        for i in range(gpu.n_sms)
+    ]
+
+
+def build_stack_sms(engine: Engine, config: SystemConfig) -> List[StreamingMultiprocessor]:
+    """One bundle per stack (``sms_per_stack`` is folded into the slot
+    count and issue rate: the paper uses 1 SM per stack throughout)."""
+    stacks = config.stacks
+    per_stack_slots = config.stack_warp_slots * stacks.sms_per_stack
+    return [
+        StreamingMultiprocessor(
+            engine,
+            name=f"stack_sm{s}",
+            warp_slots=per_stack_slots,
+            issue_per_cycle=stacks.stack_sm_issue_per_cycle * stacks.sms_per_stack,
+            l1_bytes=config.gpu.l1_bytes,
+            l1_ways=config.gpu.l1_ways,
+            line_bytes=config.messages.cache_line_bytes,
+        )
+        for s in range(stacks.n_stacks)
+    ]

@@ -1,0 +1,6 @@
+"""Off-chip link fabric and packet size accounting."""
+
+from .links import LinkFabric, TrafficBreakdown
+from .packets import PacketSizes
+
+__all__ = ["LinkFabric", "PacketSizes", "TrafficBreakdown"]

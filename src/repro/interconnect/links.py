@@ -1,0 +1,107 @@
+"""The off-chip link fabric (Figure 1, Table 1 'Off-chip Links').
+
+* One unidirectional TX (GPU -> stack) and RX (stack -> GPU) link pair
+  per memory stack. Table 1's "80 GB/s per link" is read HMC-style as
+  the link's *aggregate* bandwidth, i.e. 40 GB/s per direction: this is
+  what makes the stack-internal 160 GB/s "2x the link bandwidth"
+  (Figure 13's framing) and gives NDP its bandwidth headroom.
+* Fully-connected unidirectional cross-stack links, 40 GB/s aggregate
+  (20 GB/s per direction) each, used by stack SMs for remote data
+  (Section 4.4.1 also routes remote page-table walks over them).
+* A PCI-E link to CPU memory, used only during the learning phase of
+  programmer-transparent data mapping (Section 4.3 step 2).
+
+Each link is a :class:`~repro.utils.simcore.BandwidthResource`; traffic
+totals for Figure 9 are read straight off the resources' byte counters
+and grouped into the paper's three categories (GPU-Memory RX channel,
+GPU-Memory TX channel, Memory-Memory channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..utils.simcore import BandwidthResource, Engine
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Bytes moved per channel category (Figure 9's segments)."""
+
+    gpu_memory_rx: float
+    gpu_memory_tx: float
+    memory_memory: float
+    pcie: float
+
+    @property
+    def off_chip_total(self) -> float:
+        """The paper's 'total memory traffic on all off-chip links'
+        (GPU<->memory plus memory<->memory; PCI-E is reported separately)."""
+        return self.gpu_memory_rx + self.gpu_memory_tx + self.memory_memory
+
+
+class LinkFabric:
+    """Builds and owns every off-chip link for one simulation."""
+
+    def __init__(self, engine: Engine, config: SystemConfig) -> None:
+        self.config = config
+        n_stacks = config.stacks.n_stacks
+        # Aggregate link bandwidth split across the two directions.
+        gpu_rate = config.bytes_per_cycle(config.links.gpu_stack_gbps / 2)
+        cross_rate = config.bytes_per_cycle(config.links.cross_stack_gbps / 2)
+        latency = config.links.link_latency_cycles
+
+        self.tx: List[BandwidthResource] = [
+            BandwidthResource(engine, f"tx{s}", gpu_rate, latency)
+            for s in range(n_stacks)
+        ]
+        self.rx: List[BandwidthResource] = [
+            BandwidthResource(engine, f"rx{s}", gpu_rate, latency)
+            for s in range(n_stacks)
+        ]
+        self.cross: Dict[Tuple[int, int], BandwidthResource] = {}
+        for src in range(n_stacks):
+            for dst in range(n_stacks):
+                if src != dst:
+                    self.cross[(src, dst)] = BandwidthResource(
+                        engine, f"cross{src}->{dst}", cross_rate, latency
+                    )
+        self.pcie = BandwidthResource(
+            engine,
+            "pcie",
+            config.bytes_per_cycle(config.links.pcie_gbps),
+            config.links.pcie_latency_cycles,
+        )
+
+    def cross_link(self, src: int, dst: int) -> BandwidthResource:
+        try:
+            return self.cross[(src, dst)]
+        except KeyError:
+            raise SimulationError(f"no cross-stack link {src}->{dst}") from None
+
+    def traffic(self) -> TrafficBreakdown:
+        return TrafficBreakdown(
+            gpu_memory_rx=sum(link.units_moved for link in self.rx),
+            gpu_memory_tx=sum(link.units_moved for link in self.tx),
+            memory_memory=sum(link.units_moved for link in self.cross.values()),
+            pcie=self.pcie.units_moved,
+        )
+
+    def idle_bit_cycles(self, elapsed_cycles: float) -> float:
+        """Total (bit-lane x idle-cycle) across all GPU<->memory and
+        cross-stack links, for the 1.5 pJ/bit/cycle idle-power term."""
+        total = 0.0
+        for link in list(self.tx) + list(self.rx) + list(self.cross.values()):
+            lanes_bits = link.rate * 8.0
+            idle = max(0.0, elapsed_cycles - link.busy_time)
+            total += lanes_bits * idle
+        return total
+
+    def active_bits(self) -> float:
+        """Total bits transferred on off-chip links (2 pJ/bit term)."""
+        total = sum(link.units_moved for link in list(self.tx) + list(self.rx))
+        total += sum(link.units_moved for link in self.cross.values())
+        return total * 8.0

@@ -1,0 +1,75 @@
+"""Packet size accounting for every off-chip message kind.
+
+Sizes follow Section 3.1.1's unit model (address = data word = register
+= 4 B, acknowledgment = 1 B, cache line = 128 B) so that the traffic
+the simulator charges matches the compiler's cost model term for term:
+
+* a warp-level **load** of ``k`` coalesced lines sends ``k`` addresses
+  on TX and receives ``k`` cache lines on RX;
+* a warp-level **store** of ``k`` lines with ``w`` active lanes sends
+  ``k`` addresses plus ``w`` data words on TX and receives ``k``
+  acknowledgments on RX;
+* an **offload request** carries the live-in registers for every lane,
+  plus begin/end PC and the active mask (the header);
+* an **offload ack** carries the live-out registers for every lane plus
+  the list of dirty line addresses to invalidate (Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MessageConfig
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PacketSizes:
+    """All packet-size formulas bound to one :class:`MessageConfig`."""
+
+    messages: MessageConfig
+
+    def load_request(self, n_lines: int) -> int:
+        _check_positive(n_lines, "load lines")
+        return n_lines * self.messages.address_bytes
+
+    def load_reply(self, n_lines: int) -> int:
+        _check_positive(n_lines, "load lines")
+        return n_lines * self.messages.cache_line_bytes
+
+    def store_request(self, n_lines: int, active_lanes: int) -> int:
+        _check_positive(n_lines, "store lines")
+        _check_positive(active_lanes, "active lanes")
+        return (
+            n_lines * self.messages.address_bytes
+            + active_lanes * self.messages.word_bytes
+        )
+
+    def store_ack(self, n_lines: int) -> int:
+        _check_positive(n_lines, "store lines")
+        return n_lines * self.messages.ack_bytes
+
+    def offload_request(self, n_live_in: int, warp_size: int) -> int:
+        if n_live_in < 0:
+            raise SimulationError(f"negative live-in count {n_live_in}")
+        return (
+            self.messages.offload_header_bytes
+            + n_live_in * self.messages.register_bytes * warp_size
+        )
+
+    def offload_ack(self, n_live_out: int, warp_size: int, n_dirty_lines: int) -> int:
+        if n_live_out < 0 or n_dirty_lines < 0:
+            raise SimulationError("negative offload-ack component")
+        return (
+            self.messages.offload_header_bytes
+            + n_live_out * self.messages.register_bytes * warp_size
+            + n_dirty_lines * self.messages.address_bytes
+        )
+
+    def dram_line(self) -> int:
+        return self.messages.cache_line_bytes
+
+
+def _check_positive(value: int, what: str) -> None:
+    if value <= 0:
+        raise SimulationError(f"{what} must be positive, got {value}")

@@ -1,0 +1,17 @@
+"""Mini-PTX instruction set, kernel container, builder, and assembler."""
+
+from .asmparser import parse_kernel
+from .builder import KernelBuilder
+from .instructions import Instruction, OpClass, Opcode, is_register, opclass_of
+from .kernel import Kernel
+
+__all__ = [
+    "Instruction",
+    "Kernel",
+    "KernelBuilder",
+    "OpClass",
+    "Opcode",
+    "is_register",
+    "opclass_of",
+    "parse_kernel",
+]

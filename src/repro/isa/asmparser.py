@@ -1,0 +1,213 @@
+"""Parser for the mini-PTX assembly text format.
+
+The textual form exists so kernels can be written and inspected as
+plain strings (examples, docs, tests); it produces exactly the same
+:class:`~repro.isa.kernel.Kernel` objects as the builder. Syntax::
+
+    .kernel portfolio_b
+    .param %Lp
+    .param %Lbp
+    .param %Nmat
+    .param %delta
+    .param %v
+        mov %n, 0
+    loop:
+        ld.global<L> %f1, [%Lp + %n]
+        mad %f2, %delta, %f1, 1.0
+        div %f3, %v, %f2
+        st.global<L_b> [%Lbp + %n], %f3
+        add %n, %n, 1
+        setp.lt %p1, %n, %Nmat
+        @%p1 bra loop
+        exit
+
+* ``# ...`` and ``// ...`` are comments.
+* ``@%p`` before a mnemonic predicates the instruction.
+* An optional ``<array>`` suffix on a memory mnemonic names the array
+  the access belongs to (used by trace models).
+* Mnemonic dot-suffixes beyond the opcode (``setp.lt``) are accepted and
+  ignored — comparison kinds do not affect any analysis.
+* Memory operands are ``[%reg + %reg + imm ...]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import AssemblyError
+from .instructions import Instruction, Opcode
+from .kernel import Kernel, finalize_instructions
+
+_MNEMONICS = {op.value: op for op in Opcode}
+# Longest-first so "ld.global" wins over a hypothetical "ld".
+_SORTED_MNEMONICS = sorted(_MNEMONICS, key=len, reverse=True)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_ARRAY_RE = re.compile(r"^<([\w.$]+)>")
+
+
+def _parse_operand(text: str):
+    """A register stays a string; numeric immediates become int/float."""
+    text = text.strip()
+    if text.startswith("%"):
+        return text
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise AssemblyError(f"cannot parse operand {text!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside a [...] memory operand."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                raise AssemblyError("unbalanced ']'")
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if depth != 0:
+        raise AssemblyError("unbalanced '['")
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _parse_address(text: str) -> Tuple:
+    """``[%a + %b + 4]`` -> operand tuple."""
+    inner = text.strip()
+    if not (inner.startswith("[") and inner.endswith("]")):
+        raise AssemblyError(f"expected memory operand, got {text!r}")
+    terms = [t.strip() for t in inner[1:-1].split("+")]
+    return tuple(_parse_operand(t) for t in terms if t)
+
+
+def _match_mnemonic(token: str) -> Tuple[Opcode, str]:
+    """Resolve a mnemonic token (with possible suffixes) to an Opcode."""
+    for mnemonic in _SORTED_MNEMONICS:
+        if token == mnemonic or token.startswith(mnemonic + "."):
+            return _MNEMONICS[mnemonic], token[len(mnemonic):]
+    raise AssemblyError(f"unknown mnemonic {token!r}")
+
+
+def _parse_instruction(line: str) -> Instruction:
+    pred: Optional[str] = None
+    if line.startswith("@"):
+        pred_token, _, line = line.partition(" ")
+        pred = pred_token[1:]
+        if not pred.startswith("%"):
+            raise AssemblyError(f"predicate {pred_token!r} is not a register")
+        line = line.strip()
+        if not line:
+            raise AssemblyError("predicate with no instruction")
+
+    mnemonic_token, _, rest = line.partition(" ")
+    array: Optional[str] = None
+    array_match = _ARRAY_RE.search(mnemonic_token)
+    if "<" in mnemonic_token:
+        base, _, tail = mnemonic_token.partition("<")
+        array_match = _ARRAY_RE.match("<" + tail)
+        if array_match is None:
+            raise AssemblyError(f"malformed array annotation in {mnemonic_token!r}")
+        array = array_match.group(1)
+        mnemonic_token = base
+    opcode, _suffix = _match_mnemonic(mnemonic_token)
+    operands = _split_operands(rest) if rest.strip() else []
+
+    if opcode is Opcode.BRA:
+        if len(operands) != 1:
+            raise AssemblyError("bra takes exactly one label operand")
+        return Instruction(opcode=opcode, target=operands[0], pred=pred)
+    if opcode in (Opcode.EXIT, Opcode.BAR_SYNC, Opcode.MEMBAR):
+        if operands:
+            raise AssemblyError(f"{opcode.value} takes no operands")
+        return Instruction(opcode=opcode, pred=pred)
+    if opcode in (Opcode.LD_GLOBAL, Opcode.LD_SHARED, Opcode.LD_CONST):
+        if len(operands) != 2:
+            raise AssemblyError(f"{opcode.value} takes 'dst, [addr]'")
+        dst = operands[0]
+        addr = _parse_address(operands[1])
+        return Instruction(opcode=opcode, dsts=(dst,), srcs=addr, array=array, pred=pred)
+    if opcode in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
+        if len(operands) != 2:
+            raise AssemblyError(f"{opcode.value} takes '[addr], value'")
+        addr = _parse_address(operands[0])
+        value = _parse_operand(operands[1])
+        return Instruction(
+            opcode=opcode, srcs=(value,) + addr, array=array, pred=pred
+        )
+    if opcode is Opcode.ATOM_GLOBAL:
+        if len(operands) != 3:
+            raise AssemblyError("atom.global takes 'dst, [addr], value'")
+        dst = operands[0]
+        addr = _parse_address(operands[1])
+        value = _parse_operand(operands[2])
+        return Instruction(
+            opcode=opcode, dsts=(dst,), srcs=(value,) + addr, array=array, pred=pred
+        )
+
+    # Plain ALU: first operand is the destination.
+    if not operands:
+        raise AssemblyError(f"{opcode.value} needs operands")
+    dst = operands[0]
+    srcs = tuple(_parse_operand(op) for op in operands[1:])
+    return Instruction(opcode=opcode, dsts=(dst,), srcs=srcs, pred=pred)
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse one kernel from assembly text."""
+    name: Optional[str] = None
+    params: List[str] = []
+    instructions: List[Instruction] = []
+    labels = {}
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith(".kernel"):
+                if name is not None:
+                    raise AssemblyError("multiple .kernel directives")
+                name = line.split(None, 1)[1].strip()
+                continue
+            if line.startswith(".param"):
+                param = line.split(None, 1)[1].strip()
+                if not param.startswith("%"):
+                    raise AssemblyError(f"param {param!r} is not a register")
+                params.append(param)
+                continue
+            label_match = _LABEL_RE.match(line)
+            if label_match:
+                label = label_match.group(1)
+                if label in labels:
+                    raise AssemblyError(f"duplicate label {label!r}")
+                labels[label] = len(instructions)
+                continue
+            instructions.append(_parse_instruction(line))
+        except AssemblyError as exc:
+            if exc.line_number is None:
+                raise AssemblyError(str(exc), line_number) from None
+            raise
+
+    if name is None:
+        raise AssemblyError("missing .kernel directive")
+    return Kernel(
+        name=name,
+        instructions=finalize_instructions(instructions),
+        params=tuple(params),
+        labels=labels,
+    )

@@ -1,0 +1,197 @@
+"""Programmatic kernel construction.
+
+:class:`KernelBuilder` is the primary way workloads author their
+kernels; it mirrors assembly one-to-one but keeps label bookkeeping and
+access-id assignment out of the workload code::
+
+    b = KernelBuilder("saxpy", params=["%xp", "%yp", "%a", "%n", "%tid"])
+    b.mov("%i", "%tid")
+    b.label("loop")
+    b.ld_global("%x", addr=["%xp", "%i"], array="x")
+    b.ld_global("%y", addr=["%yp", "%i"], array="y")
+    b.mad("%y2", "%a", "%x", "%y")
+    b.st_global(addr=["%yp", "%i"], value="%y2", array="y")
+    b.add("%i", "%i", 1)
+    b.setp("%p", "%i", "%n")
+    b.bra("loop", pred="%p")
+    b.exit()
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import IsaError
+from .instructions import Instruction, Opcode
+from .kernel import Kernel, finalize_instructions
+
+
+class KernelBuilder:
+    """Accumulates instructions and labels; ``build`` returns a Kernel."""
+
+    def __init__(self, name: str, params: Optional[Sequence[str]] = None) -> None:
+        self.name = name
+        self.params = tuple(params or ())
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- structure ---------------------------------------------------
+
+    def label(self, name: str) -> "KernelBuilder":
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r} in kernel {self.name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def emit(self, instruction: Instruction) -> "KernelBuilder":
+        self._instructions.append(instruction)
+        return self
+
+    def build(self) -> Kernel:
+        return Kernel(
+            name=self.name,
+            instructions=finalize_instructions(self._instructions),
+            params=self.params,
+            labels=dict(self._labels),
+        )
+
+    # -- ALU ----------------------------------------------------------
+
+    def _alu(self, opcode: Opcode, dst: str, *srcs, pred: Optional[str] = None):
+        return self.emit(
+            Instruction(opcode=opcode, dsts=(dst,), srcs=tuple(srcs), pred=pred)
+        )
+
+    def mov(self, dst, src, pred=None):
+        return self._alu(Opcode.MOV, dst, src, pred=pred)
+
+    def add(self, dst, a, b, pred=None):
+        return self._alu(Opcode.ADD, dst, a, b, pred=pred)
+
+    def sub(self, dst, a, b, pred=None):
+        return self._alu(Opcode.SUB, dst, a, b, pred=pred)
+
+    def mul(self, dst, a, b, pred=None):
+        return self._alu(Opcode.MUL, dst, a, b, pred=pred)
+
+    def mad(self, dst, a, b, c, pred=None):
+        return self._alu(Opcode.MAD, dst, a, b, c, pred=pred)
+
+    def div(self, dst, a, b, pred=None):
+        return self._alu(Opcode.DIV, dst, a, b, pred=pred)
+
+    def min_(self, dst, a, b):
+        return self._alu(Opcode.MIN, dst, a, b)
+
+    def max_(self, dst, a, b):
+        return self._alu(Opcode.MAX, dst, a, b)
+
+    def and_(self, dst, a, b):
+        return self._alu(Opcode.AND, dst, a, b)
+
+    def or_(self, dst, a, b):
+        return self._alu(Opcode.OR, dst, a, b)
+
+    def xor(self, dst, a, b):
+        return self._alu(Opcode.XOR, dst, a, b)
+
+    def shl(self, dst, a, b):
+        return self._alu(Opcode.SHL, dst, a, b)
+
+    def shr(self, dst, a, b):
+        return self._alu(Opcode.SHR, dst, a, b)
+
+    def setp(self, dst, a, b, pred=None):
+        """Set predicate from a comparison (the comparison kind does not
+        affect any analysis, so it is not modelled)."""
+        return self._alu(Opcode.SETP, dst, a, b, pred=pred)
+
+    def sel(self, dst, a, b, p):
+        return self._alu(Opcode.SEL, dst, a, b, p)
+
+    def cvt(self, dst, src):
+        return self._alu(Opcode.CVT, dst, src)
+
+    def rcp(self, dst, src):
+        return self._alu(Opcode.RCP, dst, src)
+
+    def sqrt(self, dst, src):
+        return self._alu(Opcode.SQRT, dst, src)
+
+    def exp(self, dst, src):
+        return self._alu(Opcode.EXP, dst, src)
+
+    def log(self, dst, src):
+        return self._alu(Opcode.LOG, dst, src)
+
+    def sin(self, dst, src):
+        return self._alu(Opcode.SIN, dst, src)
+
+    def cos(self, dst, src):
+        return self._alu(Opcode.COS, dst, src)
+
+    def abs_(self, dst, src):
+        return self._alu(Opcode.ABS, dst, src)
+
+    # -- memory --------------------------------------------------------
+
+    def ld_global(self, dst, addr: Sequence, array: Optional[str] = None, pred=None):
+        return self.emit(
+            Instruction(
+                opcode=Opcode.LD_GLOBAL,
+                dsts=(dst,),
+                srcs=tuple(addr),
+                array=array,
+                pred=pred,
+            )
+        )
+
+    def st_global(self, addr: Sequence, value, array: Optional[str] = None, pred=None):
+        return self.emit(
+            Instruction(
+                opcode=Opcode.ST_GLOBAL,
+                srcs=(value,) + tuple(addr),
+                array=array,
+                pred=pred,
+            )
+        )
+
+    def ld_const(self, dst, addr: Sequence, array: Optional[str] = None):
+        return self.emit(
+            Instruction(opcode=Opcode.LD_CONST, dsts=(dst,), srcs=tuple(addr), array=array)
+        )
+
+    def ld_shared(self, dst, addr: Sequence):
+        return self.emit(
+            Instruction(opcode=Opcode.LD_SHARED, dsts=(dst,), srcs=tuple(addr))
+        )
+
+    def st_shared(self, addr: Sequence, value):
+        return self.emit(
+            Instruction(opcode=Opcode.ST_SHARED, srcs=(value,) + tuple(addr))
+        )
+
+    def atom_global(self, dst, addr: Sequence, value, array: Optional[str] = None):
+        return self.emit(
+            Instruction(
+                opcode=Opcode.ATOM_GLOBAL,
+                dsts=(dst,),
+                srcs=(value,) + tuple(addr),
+                array=array,
+            )
+        )
+
+    # -- control -------------------------------------------------------
+
+    def bra(self, target: str, pred: Optional[str] = None):
+        return self.emit(Instruction(opcode=Opcode.BRA, target=target, pred=pred))
+
+    def bar_sync(self):
+        return self.emit(Instruction(opcode=Opcode.BAR_SYNC))
+
+    def membar(self):
+        return self.emit(Instruction(opcode=Opcode.MEMBAR))
+
+    def exit(self):
+        return self.emit(Instruction(opcode=Opcode.EXIT))

@@ -1,0 +1,228 @@
+"""Instruction set for the mini-PTX IR.
+
+The compiler pass of Section 3.1 only needs to know, for each
+instruction: which registers it reads and writes, whether it touches
+global or shared memory, whether it is a control-flow instruction and
+where it can jump, and whether it is a synchronization/atomic operation
+(which disqualifies the enclosing block from offloading). This module
+defines exactly that much ISA.
+
+Register operands are strings starting with ``%`` (``%r1``, ``%f2``,
+``%p3`` ...). Anything else in an operand position is an immediate and
+is ignored by the dataflow analyses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import IsaError
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction classes the analyses dispatch on."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    SHARED_LOAD = "shared_load"
+    SHARED_STORE = "shared_store"
+    BRANCH = "branch"
+    BARRIER = "barrier"
+    ATOMIC = "atomic"
+    EXIT = "exit"
+
+
+class Opcode(enum.Enum):
+    """Mini-PTX opcodes. The value is the assembly mnemonic."""
+
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAD = "mad"
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SETP = "setp"
+    SEL = "sel"
+    CVT = "cvt"
+    RCP = "rcp"
+    SQRT = "sqrt"
+    EXP = "exp"
+    LOG = "log"
+    SIN = "sin"
+    COS = "cos"
+    ABS = "abs"
+    LD_GLOBAL = "ld.global"
+    ST_GLOBAL = "st.global"
+    LD_SHARED = "ld.shared"
+    ST_SHARED = "st.shared"
+    LD_CONST = "ld.const"
+    ATOM_GLOBAL = "atom.global"
+    BAR_SYNC = "bar.sync"
+    MEMBAR = "membar"
+    BRA = "bra"
+    EXIT = "exit"
+
+
+_OPCLASS = {
+    Opcode.LD_GLOBAL: OpClass.LOAD,
+    Opcode.LD_CONST: OpClass.LOAD,
+    Opcode.ST_GLOBAL: OpClass.STORE,
+    Opcode.LD_SHARED: OpClass.SHARED_LOAD,
+    Opcode.ST_SHARED: OpClass.SHARED_STORE,
+    Opcode.ATOM_GLOBAL: OpClass.ATOMIC,
+    Opcode.BAR_SYNC: OpClass.BARRIER,
+    Opcode.MEMBAR: OpClass.BARRIER,
+    Opcode.BRA: OpClass.BRANCH,
+    Opcode.EXIT: OpClass.EXIT,
+}
+
+
+def opclass_of(opcode: Opcode) -> OpClass:
+    """Class of an opcode; anything unlisted is plain ALU."""
+    return _OPCLASS.get(opcode, OpClass.ALU)
+
+
+#: Dynamic expansion factors: divides and transcendentals are emitted as
+#: multi-instruction sequences (or occupy the SFU for many cycles) on
+#: real GPUs; the trace generator charges them accordingly.
+_EXPENSIVE_OPS = {
+    Opcode.DIV: 8,
+    Opcode.RCP: 4,
+    Opcode.SQRT: 8,
+    Opcode.EXP: 8,
+    Opcode.LOG: 8,
+    Opcode.SIN: 8,
+    Opcode.COS: 8,
+}
+
+
+def dynamic_weight(opcode: Opcode) -> int:
+    """Dynamic instruction-slot cost of one warp instruction."""
+    return _EXPENSIVE_OPS.get(opcode, 1)
+
+
+def is_register(operand: object) -> bool:
+    """Operands are registers iff they are strings starting with ``%``."""
+    return isinstance(operand, str) and operand.startswith("%")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One mini-PTX instruction.
+
+    ``dsts``/``srcs`` hold register names and immediates. For memory
+    instructions the address registers are part of ``srcs`` and the
+    symbolic array being addressed may be recorded in ``array`` (used by
+    the trace generator to attach address streams); ``access_id`` is a
+    kernel-unique index assigned to every global-memory instruction when
+    the kernel is built.
+    """
+
+    opcode: Opcode
+    dsts: Tuple[str, ...] = ()
+    srcs: Tuple[object, ...] = ()
+    pred: Optional[str] = None
+    target: Optional[str] = None
+    label: Optional[str] = None
+    array: Optional[str] = None
+    access_id: int = -1
+
+    def __post_init__(self) -> None:
+        for dst in self.dsts:
+            if not is_register(dst):
+                raise IsaError(f"destination {dst!r} is not a register")
+        if self.pred is not None and not is_register(self.pred):
+            raise IsaError(f"predicate {self.pred!r} is not a register")
+        if self.opcode is Opcode.BRA and self.target is None:
+            raise IsaError("bra needs a target label")
+
+    @property
+    def opclass(self) -> OpClass:
+        return opclass_of(self.opcode)
+
+    @property
+    def reads(self) -> Tuple[str, ...]:
+        """Registers read by this instruction (sources + predicate)."""
+        regs = [src for src in self.srcs if is_register(src)]
+        if self.pred is not None:
+            regs.append(self.pred)
+        return tuple(regs)
+
+    @property
+    def writes(self) -> Tuple[str, ...]:
+        return self.dsts
+
+    @property
+    def is_global_memory(self) -> bool:
+        return self.opclass in (OpClass.LOAD, OpClass.STORE) and self.opcode in (
+            Opcode.LD_GLOBAL,
+            Opcode.ST_GLOBAL,
+        )
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD_GLOBAL
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST_GLOBAL
+
+    @property
+    def is_shared_memory(self) -> bool:
+        return self.opclass in (OpClass.SHARED_LOAD, OpClass.SHARED_STORE)
+
+    @property
+    def is_sync_or_atomic(self) -> bool:
+        return self.opclass in (OpClass.BARRIER, OpClass.ATOMIC)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_exit(self) -> bool:
+        return self.opclass is OpClass.EXIT
+
+    def with_access_id(self, access_id: int) -> "Instruction":
+        return Instruction(
+            opcode=self.opcode,
+            dsts=self.dsts,
+            srcs=self.srcs,
+            pred=self.pred,
+            target=self.target,
+            label=self.label,
+            array=self.array,
+            access_id=access_id,
+        )
+
+    def render(self) -> str:
+        """Assembly-style rendering used in dumps and error messages."""
+        parts = []
+        if self.pred is not None:
+            parts.append(f"@{self.pred}")
+        parts.append(self.opcode.value)
+        operands = []
+        operands.extend(str(dst) for dst in self.dsts)
+        if self.opclass in (OpClass.LOAD, OpClass.SHARED_LOAD):
+            # loads: srcs are the address operands
+            addr = " + ".join(str(s) for s in self.srcs)
+            operands = list(self.dsts) + [f"[{addr}]"]
+        elif self.opclass in (OpClass.STORE, OpClass.SHARED_STORE):
+            # stores: srcs[0] is the stored value, the rest is the address
+            addr = " + ".join(str(s) for s in self.srcs[1:])
+            operands = [f"[{addr}]", str(self.srcs[0])]
+        else:
+            operands.extend(str(src) for src in self.srcs)
+        if self.target is not None:
+            operands.append(self.target)
+        return " ".join(parts) + " " + ", ".join(operands)

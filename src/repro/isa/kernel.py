@@ -1,0 +1,102 @@
+"""Kernel container: a named, label-resolved list of instructions.
+
+A :class:`Kernel` is immutable once built. Global-memory instructions
+receive dense ``access_id`` values (in program order) so workload trace
+models can attach address streams to specific loads and stores, and so
+the analyses can talk about "access 3 of block 1" unambiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import IsaError
+from .instructions import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An immutable mini-PTX kernel.
+
+    ``params`` are registers defined before entry (kernel arguments,
+    thread/block indices); the liveness analysis treats them as live-in
+    to the entry block. ``labels`` maps label name to instruction index.
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    params: Tuple[str, ...] = ()
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise IsaError(f"kernel {self.name!r} has no instructions")
+        for instr in self.instructions:
+            if instr.is_branch and instr.target not in self.labels:
+                raise IsaError(
+                    f"kernel {self.name!r}: branch to undefined label "
+                    f"{instr.target!r}"
+                )
+        if not self.instructions[-1].is_exit and not self.instructions[-1].is_branch:
+            # Fall-through past the end would be a malformed program.
+            raise IsaError(
+                f"kernel {self.name!r} must end with exit or an unconditional branch"
+            )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def label_index(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise IsaError(f"kernel {self.name!r} has no label {label!r}") from None
+
+    @property
+    def memory_instructions(self) -> Tuple[Instruction, ...]:
+        """Global loads/stores, in program order (== access_id order)."""
+        return tuple(i for i in self.instructions if i.is_global_memory)
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.memory_instructions)
+
+    def access(self, access_id: int) -> Instruction:
+        mem = self.memory_instructions
+        if not 0 <= access_id < len(mem):
+            raise IsaError(
+                f"kernel {self.name!r} has {len(mem)} accesses, "
+                f"no access_id {access_id}"
+            )
+        return mem[access_id]
+
+    def dump(self) -> str:
+        """Readable assembly listing with labels, for docs and debugging."""
+        index_to_label = {idx: lbl for lbl, idx in self.labels.items()}
+        lines = [f".kernel {self.name}"]
+        for param in self.params:
+            lines.append(f".param {param}")
+        for idx, instr in enumerate(self.instructions):
+            if idx in index_to_label:
+                lines.append(f"{index_to_label[idx]}:")
+            lines.append(f"    {instr.render()}")
+        return "\n".join(lines)
+
+
+def finalize_instructions(
+    instructions: Sequence[Instruction],
+) -> Tuple[Instruction, ...]:
+    """Assign dense access ids to global-memory instructions."""
+    result: List[Instruction] = []
+    next_access = 0
+    for instr in instructions:
+        if instr.is_global_memory:
+            result.append(instr.with_access_id(next_access))
+            next_access += 1
+        else:
+            result.append(instr)
+    return tuple(result)

@@ -1,0 +1,17 @@
+"""Programmer-transparent data mapping runtime."""
+
+from .transparent import (
+    MappingPhase,
+    TransparentDataMapping,
+    candidate_instances,
+    colocation_under_mapping,
+    learn_offline,
+)
+
+__all__ = [
+    "MappingPhase",
+    "TransparentDataMapping",
+    "candidate_instances",
+    "colocation_under_mapping",
+    "learn_offline",
+]

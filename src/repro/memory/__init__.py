@@ -1,0 +1,39 @@
+"""Memory subsystem: address mappings, allocation table, caches, DRAM."""
+
+from .address_mapping import (
+    AddressMapping,
+    BaselineMapping,
+    ConsecutiveBitMapping,
+    HybridMapping,
+    all_consecutive_mappings,
+    sweep_positions,
+)
+from .allocation import (
+    ENTRY_BITS as ALLOCATION_ENTRY_BITS,
+    MAX_ENTRIES as ALLOCATION_MAX_ENTRIES,
+    TABLE_BITS as ALLOCATION_TABLE_BITS,
+    AllocationRange,
+    MemoryAllocationTable,
+)
+from .cache import Cache, CacheStats
+from .dram import MemoryStack, Vault, VaultStats, build_stacks
+
+__all__ = [
+    "ALLOCATION_ENTRY_BITS",
+    "ALLOCATION_MAX_ENTRIES",
+    "ALLOCATION_TABLE_BITS",
+    "AddressMapping",
+    "AllocationRange",
+    "BaselineMapping",
+    "Cache",
+    "CacheStats",
+    "ConsecutiveBitMapping",
+    "HybridMapping",
+    "MemoryAllocationTable",
+    "MemoryStack",
+    "Vault",
+    "VaultStats",
+    "all_consecutive_mappings",
+    "build_stacks",
+    "sweep_positions",
+]

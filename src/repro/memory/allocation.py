@@ -1,0 +1,121 @@
+"""The memory allocation table (Section 4.3, step 1).
+
+With programmer-transparent data mapping, the GPU driver records every
+``cudaMalloc``-style allocation in a table; during the learning phase
+the memory-map analyzer marks the ranges that offloading candidates
+touch, and at copy time those ranges — and only those — are placed with
+the learned mapping. The paper provisions 100 entries of 97 bits each
+(48-bit start, 48-bit length, 1 candidate bit); Section 6.6 charges
+9,700 bits of storage for it.
+
+This module doubles as the library's *allocator* for workload arrays:
+allocations are page-aligned and laid out sequentially, so the distance
+between two array bases always has a large power-of-two factor — the
+property Section 3.2.1's fixed-offset analysis relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import AllocationError
+from ..utils.bitops import align_up
+
+#: Paper-provisioned limits (Section 6.6).
+MAX_ENTRIES = 100
+ENTRY_BITS = 97
+TABLE_BITS = MAX_ENTRIES * ENTRY_BITS
+
+
+@dataclass
+class AllocationRange:
+    """One recorded allocation."""
+
+    name: str
+    start: int
+    length: int
+    accessed_by_candidate: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+class MemoryAllocationTable:
+    """Driver-side allocation record + bump allocator for workloads."""
+
+    def __init__(self, page_bytes: int = 4096, base_address: int = 1 << 28) -> None:
+        self.page_bytes = page_bytes
+        self._next = align_up(base_address, page_bytes)
+        self._ranges: List[AllocationRange] = []
+        self._by_name: Dict[str, AllocationRange] = {}
+
+    def allocate(self, name: str, length: int, guard_pages: int = 1) -> AllocationRange:
+        """Reserve ``length`` bytes, page-aligned, with ``guard_pages``
+        unmapped pages after it (so arrays never share a page and the
+        inter-array distances stay power-of-two friendly)."""
+        if length <= 0:
+            raise AllocationError(f"allocation {name!r} needs positive size")
+        if name in self._by_name:
+            raise AllocationError(f"allocation {name!r} already exists")
+        if len(self._ranges) >= MAX_ENTRIES:
+            raise AllocationError(
+                f"allocation table full ({MAX_ENTRIES} entries, Section 6.6)"
+            )
+        entry = AllocationRange(name=name, start=self._next, length=length)
+        self._ranges.append(entry)
+        self._by_name[name] = entry
+        self._next = align_up(entry.end, self.page_bytes) + guard_pages * self.page_bytes
+        return entry
+
+    def lookup(self, address: int) -> Optional[AllocationRange]:
+        for entry in self._ranges:
+            if entry.contains(address):
+                return entry
+        return None
+
+    def __getitem__(self, name: str) -> AllocationRange:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AllocationError(f"no allocation named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __iter__(self):
+        return iter(self._ranges)
+
+    def mark_candidate(self, address: int) -> bool:
+        """Set the candidate bit of the range containing ``address``
+        (memory-map analyzer, Section 4.3 step 3). Returns False when
+        the address is outside every recorded range."""
+        entry = self.lookup(address)
+        if entry is None:
+            return False
+        entry.accessed_by_candidate = True
+        return True
+
+    def candidate_ranges(self) -> List[AllocationRange]:
+        return [r for r in self._ranges if r.accessed_by_candidate]
+
+    def candidate_pages(self) -> set:
+        """Page indices covered by candidate-marked ranges — the set the
+        hybrid (tmap) mapping consults."""
+        pages: set = set()
+        for entry in self.candidate_ranges():
+            first = entry.start // self.page_bytes
+            last = (entry.end - 1) // self.page_bytes
+            pages.update(range(first, last + 1))
+        return pages
+
+    @property
+    def storage_bits(self) -> int:
+        return TABLE_BITS

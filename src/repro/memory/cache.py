@@ -1,0 +1,123 @@
+"""Set-associative, write-through caches.
+
+The GPU's L1 and L2 and the stack SMs' private caches are all
+write-through (Section 4.4.2 leans on this for the coherence protocol:
+"most GPUs employ write through caches"). Policy here:
+
+* loads allocate on miss (LRU replacement);
+* stores are write-through **no-allocate**: a store updates a line
+  already present but does not fetch one that is absent — matching the
+  paper's bandwidth equations, where a store always pushes its data
+  off-chip and never generates a fill;
+* ``invalidate``/``invalidate_all`` support the offload coherence steps
+  (stack SM flushes before spawning an offloaded warp; the requesting
+  SM invalidates the dirty lines listed in the offload ack).
+
+Addresses are *line ids* (byte address >> line bits); callers coalesce
+first. Dirty-line tracking records lines written since the last
+``collect_dirty`` call, which the stack SM reports back in the ack.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..errors import ConfigError
+from ..utils.bitops import ilog2, is_power_of_two
+
+
+@dataclass
+class CacheStats:
+    load_hits: int = 0
+    load_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def loads(self) -> int:
+        return self.load_hits + self.load_misses
+
+    @property
+    def load_miss_rate(self) -> float:
+        return self.load_misses / self.loads if self.loads else 0.0
+
+
+class Cache:
+    """LRU set-associative cache over line ids."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int, name: str = "") -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ConfigError(
+                f"cache {name!r}: size {size_bytes} not divisible by "
+                f"ways*line ({ways}*{line_bytes})"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (ways * line_bytes)
+        if not is_power_of_two(self.n_sets):
+            raise ConfigError(f"cache {name!r}: set count {self.n_sets} not a power of two")
+        self._set_mask = self.n_sets - 1
+        # each set: OrderedDict line_id -> True, LRU at the front
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+        self._dirty_since_collect: Set[int] = set()
+
+    def _set_of(self, line_id: int) -> OrderedDict:
+        return self._sets[line_id & self._set_mask]
+
+    def load(self, line_id: int) -> bool:
+        """Access for a load; returns hit, allocating on miss."""
+        cache_set = self._set_of(line_id)
+        if line_id in cache_set:
+            cache_set.move_to_end(line_id)
+            self.stats.load_hits += 1
+            return True
+        self.stats.load_misses += 1
+        cache_set[line_id] = True
+        if len(cache_set) > self.ways:
+            cache_set.popitem(last=False)
+        return False
+
+    def store(self, line_id: int) -> bool:
+        """Access for a store (write-through no-allocate); returns hit."""
+        cache_set = self._set_of(line_id)
+        self._dirty_since_collect.add(line_id)
+        if line_id in cache_set:
+            cache_set.move_to_end(line_id)
+            self.stats.store_hits += 1
+            return True
+        self.stats.store_misses += 1
+        return False
+
+    def contains(self, line_id: int) -> bool:
+        return line_id in self._set_of(line_id)
+
+    def invalidate(self, line_id: int) -> bool:
+        cache_set = self._set_of(line_id)
+        if line_id in cache_set:
+            del cache_set[line_id]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_all(self) -> int:
+        count = sum(len(s) for s in self._sets)
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats.invalidations += count
+        return count
+
+    def collect_dirty(self) -> Set[int]:
+        """Lines written since the previous collection — the dirty-line
+        address list the stack SM ships home in the offload ack."""
+        dirty = self._dirty_since_collect
+        self._dirty_since_collect = set()
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

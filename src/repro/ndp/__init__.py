@@ -1,0 +1,27 @@
+"""NDP hardware: offload controller, busy monitor, map analyzer, coherence."""
+
+from .analyzer import (
+    BITS_PER_INSTANCE,
+    LearnedMapping,
+    MemoryMapAnalyzer,
+)
+from .controller import DecisionReason, OffloadController, OffloadDecision
+from .coherence import CoherenceProtocol, CoherenceStats
+from .monitor import ChannelBusyMonitor
+from .translation import StackTranslation, Tlb, TranslationStats, WalkRequest
+
+__all__ = [
+    "BITS_PER_INSTANCE",
+    "ChannelBusyMonitor",
+    "CoherenceProtocol",
+    "CoherenceStats",
+    "DecisionReason",
+    "LearnedMapping",
+    "MemoryMapAnalyzer",
+    "OffloadController",
+    "OffloadDecision",
+    "StackTranslation",
+    "Tlb",
+    "TranslationStats",
+    "WalkRequest",
+]

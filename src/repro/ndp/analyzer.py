@@ -1,0 +1,119 @@
+"""The Memory Map Analyzer (component 3 in Figure 7, Section 4.3).
+
+During the learning phase the analyzer watches every offloading
+candidate instance's memory accesses and, for each potential stack
+mapping (consecutive-bit positions 7..16 in a 4-stack system),
+accumulates how concentrated the instance's accesses would be on a
+single stack. When the pre-determined number of instances has been
+observed it interrupts the GPU runtime, which:
+
+* picks the bit position with the highest average co-location, and
+* marks, in the memory allocation table, every allocation range that
+  candidate instances touched, so only those ranges get the learned
+  mapping when data is finally copied to GPU memory.
+
+The hardware cost modelled in Section 6.6 is 40 bits per in-flight
+candidate instance (10 mappings x 4-bit stack counters), 48 warps/SM.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import AnalysisError
+from ..gpu.warp import CandidateSegment
+from ..memory.address_mapping import ConsecutiveBitMapping, sweep_positions
+from ..memory.allocation import MemoryAllocationTable
+
+#: Section 6.6 storage accounting.
+BITS_PER_MAPPING_OPTION = 4
+N_MAPPING_OPTIONS = 10
+BITS_PER_INSTANCE = BITS_PER_MAPPING_OPTION * N_MAPPING_OPTIONS  # 40
+
+
+@dataclass(frozen=True)
+class LearnedMapping:
+    """Outcome of the learning phase."""
+
+    position: int
+    colocation: float
+    instances_observed: int
+    per_position_colocation: Dict[int, float]
+
+
+class MemoryMapAnalyzer:
+    """Accumulates per-mapping co-location over observed instances."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        allocation_table: Optional[MemoryAllocationTable] = None,
+    ) -> None:
+        self.config = config
+        self.allocation_table = allocation_table
+        self.positions = sweep_positions(config)
+        self._mappings = [ConsecutiveBitMapping(config, p) for p in self.positions]
+        self._colocation_sum: Dict[int, float] = {p: 0.0 for p in self.positions}
+        self._modal_stack_counts: Dict[int, np.ndarray] = {
+            p: np.zeros(config.stacks.n_stacks, dtype=np.int64)
+            for p in self.positions
+        }
+        self.instances_observed = 0
+
+    def observe(self, segment: CandidateSegment) -> None:
+        """Record one candidate instance's accesses (learning phase)."""
+        lines = segment.all_line_addresses()
+        if not lines:
+            return
+        addresses = np.asarray(lines, dtype=np.int64)
+        for position, mapping in zip(self.positions, self._mappings):
+            stacks = mapping.stack_of(addresses)
+            counts = np.bincount(stacks, minlength=self.config.stacks.n_stacks)
+            self._colocation_sum[position] += counts.max() / addresses.size
+            self._modal_stack_counts[position][int(counts.argmax())] += 1
+        self.instances_observed += 1
+        if self.allocation_table is not None:
+            for address in self._representative_addresses(addresses):
+                self.allocation_table.mark_candidate(int(address))
+
+    @staticmethod
+    def _representative_addresses(addresses: np.ndarray) -> np.ndarray:
+        """Page-deduplicated addresses, enough to mark every touched
+        allocation range without walking each line."""
+        return np.unique(addresses >> 12) << 12
+
+    def best_mapping(self) -> LearnedMapping:
+        """The bit position with the highest mean co-location.
+
+        Positions within 2% of the best co-location are tied and the
+        lowest one wins (see the comment below).
+        """
+        if self.instances_observed == 0:
+            raise AnalysisError("learning phase observed no candidate instances")
+        averages = {
+            position: total / self.instances_observed
+            for position, total in self._colocation_sum.items()
+        }
+        best_avg = max(averages.values())
+        tied = [p for p in self.positions if averages[p] >= best_avg - 0.02]
+        # Lowest position among the near-ties: the finest interleave
+        # granularity that still co-locates, so that independent warps
+        # spread across stacks and the per-stack RX links stay balanced
+        # for whatever the dynamic controller leaves on the main GPU.
+        best_position = min(tied)
+        return LearnedMapping(
+            position=best_position,
+            colocation=averages[best_position],
+            instances_observed=self.instances_observed,
+            per_position_colocation=averages,
+        )
+
+    @property
+    def storage_bits_per_sm(self) -> int:
+        """1,920 bits: 40 bits x 48 concurrent warps (Section 6.6)."""
+        return BITS_PER_INSTANCE * self.config.gpu.warps_per_sm

@@ -1,0 +1,73 @@
+"""The Channel Busy Monitor (component 2 in Figure 7).
+
+Tracks windowed utilization of each off-chip TX/RX channel; when the
+utilization of a channel over the last window exceeds the configured
+threshold, the channel is reported busy and the offload controller
+refuses candidates whose 2-bit tag says they *add* traffic to it
+(Section 3.3, second mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import SystemConfig
+from ..interconnect.links import LinkFabric
+from ..utils.simcore import BandwidthResource, Engine
+
+
+class _WindowedUtilization:
+    """Windowed utilization sampler over one bandwidth resource.
+
+    Queries within the same window return the cached value; once the
+    window has elapsed the utilization is recomputed from the
+    resource's cumulative busy time. This mirrors a hardware counter
+    that is read and reset periodically.
+    """
+
+    def __init__(self, engine: Engine, link: BandwidthResource, window: float) -> None:
+        self._engine = engine
+        self._link = link
+        self._window = window
+        self._last_time = 0.0
+        self._last_busy = 0.0
+        self._cached = 0.0
+
+    def utilization(self) -> float:
+        now, busy = self._link.utilization_snapshot()
+        elapsed = now - self._last_time
+        if elapsed >= self._window:
+            self._cached = min(1.0, (busy - self._last_busy) / elapsed)
+            self._last_time = now
+            self._last_busy = busy
+        return self._cached
+
+
+class ChannelBusyMonitor:
+    """Busy/idle state for every per-stack TX and RX channel."""
+
+    def __init__(self, engine: Engine, fabric: LinkFabric, config: SystemConfig) -> None:
+        window = config.control.monitor_window_cycles
+        self.threshold = config.control.channel_busy_threshold
+        self._tx = [_WindowedUtilization(engine, link, window) for link in fabric.tx]
+        self._rx = [_WindowedUtilization(engine, link, window) for link in fabric.rx]
+        self.busy_reports = 0
+
+    def tx_busy(self, stack: int) -> bool:
+        busy = self._tx[stack].utilization() >= self.threshold
+        if busy:
+            self.busy_reports += 1
+        return busy
+
+    def rx_busy(self, stack: int) -> bool:
+        busy = self._rx[stack].utilization() >= self.threshold
+        if busy:
+            self.busy_reports += 1
+        return busy
+
+    def tx_utilization(self, stack: int) -> float:
+        return self._tx[stack].utilization()
+
+    def rx_utilization(self, stack: int) -> float:
+        return self._rx[stack].utilization()

@@ -1,0 +1,124 @@
+"""Virtual address translation on the stack SMs (Section 4.4.1).
+
+The paper equips logic-layer SMs with small TLBs and MMUs (1-2K
+flip-flops, <2% of a stack SM's area) and notes two consequences this
+module models:
+
+* a TLB miss triggers a page-table walk — one memory access to the
+  page table, which may live in a *different* stack and then travels
+  over the cross-stack links;
+* because offloading only begins after the host driver has finished
+  the (delayed) memory copy and page-table setup, no TLB shootdowns
+  are ever needed during offloaded execution.
+
+Translation is disabled by default (``TranslationConfig.enabled``) so
+the headline figures match the paper's accounting, which folds
+translation into the SM model on both sides; the ablation bench
+quantifies its cost and backs the paper's "fairly small" claim.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+from ..utils.bitops import ilog2
+
+#: Synthetic physical region holding page tables, far above workload
+#: allocations so the DRAM row model treats walks as separate rows.
+PAGE_TABLE_BASE = 1 << 45
+#: Bytes fetched per page-table walk (one PTE cache line).
+WALK_BYTES = 64
+
+
+@dataclass
+class TranslationStats:
+    lookups: int = 0
+    misses: int = 0
+    local_walks: int = 0
+    remote_walks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.misses / self.lookups if self.lookups else 1.0
+
+
+class Tlb:
+    """Fully-associative LRU TLB over page numbers."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ConfigError(f"TLB needs at least one entry, got {entries}")
+        self.entries = entries
+        self._pages: OrderedDict = OrderedDict()
+
+    def lookup(self, page: int) -> bool:
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return True
+        self._pages[page] = True
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pages)
+
+
+@dataclass(frozen=True)
+class WalkRequest:
+    """One page-table walk the simulator must charge."""
+
+    page_table_stack: int
+    address: int  # synthetic page-table line address
+    n_bytes: int = WALK_BYTES
+
+
+class StackTranslation:
+    """TLB + walk generation for one stack SM."""
+
+    def __init__(self, config: SystemConfig, stack_id: int) -> None:
+        self.config = config
+        self.stack_id = stack_id
+        self.tlb = Tlb(config.translation.tlb_entries)
+        self.page_bits = ilog2(config.mapping.page_bytes)
+        self.n_stacks = config.stacks.n_stacks
+        self.stats = TranslationStats()
+
+    def translate(self, line_addresses: Sequence[int]) -> List[WalkRequest]:
+        """Look every accessed page up; returns the walks to charge.
+
+        Page tables are distributed across stacks page-by-page (the
+        host allocated them before offloading began), so a walk is
+        local with probability 1/n_stacks.
+        """
+        walks: List[WalkRequest] = []
+        seen_pages = set()
+        for address in line_addresses:
+            page = address >> self.page_bits
+            if page in seen_pages:
+                continue
+            seen_pages.add(page)
+            self.stats.lookups += 1
+            if self.tlb.lookup(page):
+                continue
+            self.stats.misses += 1
+            table_stack = page % self.n_stacks
+            if table_stack == self.stack_id:
+                self.stats.local_walks += 1
+            else:
+                self.stats.remote_walks += 1
+            walks.append(
+                WalkRequest(
+                    page_table_stack=table_stack,
+                    address=PAGE_TABLE_BASE + page * 8,
+                )
+            )
+        return walks

@@ -1,0 +1,36 @@
+"""Trace generation: access patterns and the kernel-driven generator."""
+
+from .generator import TraceModel, TraceScale, WorkloadTrace, build_trace
+from .serialize import load_trace, save_trace, trace_checksum
+from .patterns import (
+    AccessContext,
+    BroadcastPattern,
+    ButterflyPattern,
+    LinearPattern,
+    LocalRandomPattern,
+    MixturePattern,
+    Pattern,
+    PhaseShiftPattern,
+    RandomPattern,
+    StridedPattern,
+)
+
+__all__ = [
+    "AccessContext",
+    "BroadcastPattern",
+    "ButterflyPattern",
+    "LinearPattern",
+    "LocalRandomPattern",
+    "MixturePattern",
+    "Pattern",
+    "PhaseShiftPattern",
+    "RandomPattern",
+    "StridedPattern",
+    "TraceModel",
+    "TraceScale",
+    "WorkloadTrace",
+    "build_trace",
+    "load_trace",
+    "save_trace",
+    "trace_checksum",
+]

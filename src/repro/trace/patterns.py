@@ -1,0 +1,256 @@
+"""Access-pattern primitives for workload trace models.
+
+Each global-memory instruction of a workload kernel is bound to a
+pattern object that produces the per-lane byte addresses of one warp
+instruction instance. Patterns are pure functions of an
+:class:`AccessContext` (warp id, iteration, per-trace RNG), which keeps
+trace generation deterministic under a fixed seed.
+
+The pattern vocabulary covers the behaviours the paper's workloads
+exhibit (Section 3.2.1 / Figure 5):
+
+* :class:`LinearPattern` — ``array[f(warp, iteration, lane)]`` with
+  consecutive lanes on consecutive elements: perfectly coalesced, and
+  two arrays indexed by the same function produce *fixed-offset*
+  access pairs (the property tmap exploits);
+* :class:`StridedPattern` — lane addresses ``stride`` elements apart
+  (poor coalescing, as in reductions and FWT late stages);
+* :class:`RandomPattern` — irregular gather (BFS neighbour lists);
+* :class:`BroadcastPattern` — all lanes read one small region
+  (k-means centroids);
+* :class:`ButterflyPattern` — XOR-partner indexing per iteration
+  (fast Walsh transform);
+* :class:`MixturePattern` — regular accesses with a random fraction;
+* :class:`PhaseShiftPattern` — switches between two patterns after a
+  given fraction of instances, modelling workloads whose early
+  behaviour mispredicts the best mapping (BFS in Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TraceError
+from ..memory.allocation import AllocationRange, MemoryAllocationTable
+
+
+@dataclass
+class AccessContext:
+    """Everything a pattern may condition on for one warp access."""
+
+    warp_id: int
+    instance_index: int  # global candidate-instance ordinal (0 for plain)
+    total_instances: int
+    iteration: int
+    total_iterations: int
+    lane_ids: np.ndarray  # active lane indices, subset of [0, warp_size)
+    rng: np.random.Generator
+    warp_size: int = 32
+
+
+class Pattern:
+    """Base: bound to an allocation before use."""
+
+    def __init__(self, array: str, element_bytes: int = 4) -> None:
+        self.array = array
+        self.element_bytes = element_bytes
+        self._range: Optional[AllocationRange] = None
+
+    def bind(self, table: MemoryAllocationTable) -> "Pattern":
+        self._range = table[self.array]
+        return self
+
+    @property
+    def base(self) -> int:
+        if self._range is None:
+            raise TraceError(f"pattern over {self.array!r} used before bind()")
+        return self._range.start
+
+    @property
+    def n_elements(self) -> int:
+        if self._range is None:
+            raise TraceError(f"pattern over {self.array!r} used before bind()")
+        return max(1, self._range.length // self.element_bytes)
+
+    def _to_addresses(self, element_indices: np.ndarray) -> np.ndarray:
+        wrapped = np.mod(element_indices, self.n_elements)
+        return self.base + wrapped * self.element_bytes
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LinearPattern(Pattern):
+    """Consecutive elements per lane; each warp owns a contiguous chunk.
+
+    Element index = ``warp_id * span + iteration * warp_size + lane``.
+    ``span`` should normally be a *fixed* per-warp chunk (as real
+    kernels compute from the thread id), so that warp base addresses
+    stride uniformly and home stacks balance under any bit-sliced
+    mapping; it defaults to ``total_iterations * warp_size`` only as a
+    fallback. ``offset_elements`` shifts the whole pattern (used to
+    express ``a[i]`` vs ``a[i + k]``).
+    """
+
+    def __init__(
+        self,
+        array: str,
+        element_bytes: int = 4,
+        offset_elements: int = 0,
+        span_elements: Optional[int] = None,
+    ) -> None:
+        super().__init__(array, element_bytes)
+        self.offset_elements = offset_elements
+        self.span_elements = span_elements
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        span = (
+            self.span_elements
+            if self.span_elements is not None
+            else ctx.total_iterations * ctx.warp_size
+        )
+        index = (
+            ctx.warp_id * span
+            + ctx.iteration * ctx.warp_size
+            + ctx.lane_ids
+            + self.offset_elements
+        )
+        return self._to_addresses(index)
+
+
+class StridedPattern(Pattern):
+    """Lanes ``stride_elements`` apart (column-major / tree patterns)."""
+
+    def __init__(
+        self, array: str, stride_elements: int, element_bytes: int = 4
+    ) -> None:
+        super().__init__(array, element_bytes)
+        if stride_elements < 1:
+            raise TraceError(f"stride must be >= 1, got {stride_elements}")
+        self.stride_elements = stride_elements
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        block = ctx.warp_id * ctx.total_iterations + ctx.iteration
+        index = block + ctx.lane_ids * self.stride_elements
+        return self._to_addresses(index)
+
+
+class RandomPattern(Pattern):
+    """Uniform random gather over the array."""
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        index = ctx.rng.integers(0, self.n_elements, size=ctx.lane_ids.size)
+        return self._to_addresses(index)
+
+
+class LocalRandomPattern(Pattern):
+    """Random within a warp-local window — irregular but with locality
+    (CFD/HW neighbour accesses)."""
+
+    def __init__(
+        self, array: str, window_elements: int, element_bytes: int = 4
+    ) -> None:
+        super().__init__(array, element_bytes)
+        if window_elements < 1:
+            raise TraceError("window must be >= 1 element")
+        self.window_elements = window_elements
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        window_base = (ctx.warp_id * self.window_elements) % self.n_elements
+        offsets = ctx.rng.integers(0, self.window_elements, size=ctx.lane_ids.size)
+        return self._to_addresses(window_base + offsets)
+
+
+class BroadcastPattern(Pattern):
+    """All lanes read the same (iteration-selected) small record."""
+
+    def __init__(
+        self, array: str, record_elements: int = 1, element_bytes: int = 4
+    ) -> None:
+        super().__init__(array, element_bytes)
+        self.record_elements = record_elements
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        record = ctx.iteration % max(1, self.n_elements // max(1, self.record_elements))
+        index = np.full(ctx.lane_ids.size, record * self.record_elements, dtype=np.int64)
+        return self._to_addresses(index)
+
+
+class ButterflyPattern(Pattern):
+    """FWT-style partner indexing: lane reads ``i XOR 2**stage``.
+
+    The stage is fixed per candidate *instance* (a real FWT runs one
+    stage per kernel launch), so within an instance the partner offset
+    is a constant power of two — the canonical fixed-offset-with-a-
+    power-of-two-factor case of Section 3.2.1.
+    """
+
+    def __init__(self, array: str, element_bytes: int = 4, n_stages: int = 8) -> None:
+        super().__init__(array, element_bytes)
+        self.n_stages = n_stages
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        stage = 5 + (ctx.instance_index % self.n_stages)
+        base_index = (
+            ctx.warp_id * ctx.total_iterations * ctx.warp_size
+            + ctx.iteration * ctx.warp_size
+            + ctx.lane_ids
+        )
+        partner = np.bitwise_xor(base_index, 1 << stage)
+        return self._to_addresses(partner)
+
+
+class MixturePattern(Pattern):
+    """``regular`` with probability ``1 - p_random``, else ``random``.
+
+    The decision is per warp access (all lanes together), which keeps
+    the fixed-offset fraction of a block close to ``1 - p_random``.
+    """
+
+    def __init__(self, regular: Pattern, random: Pattern, p_random: float) -> None:
+        super().__init__(regular.array, regular.element_bytes)
+        if not 0.0 <= p_random <= 1.0:
+            raise TraceError(f"p_random must be in [0, 1], got {p_random}")
+        self.regular = regular
+        self.random = random
+        self.p_random = p_random
+
+    def bind(self, table: MemoryAllocationTable) -> "MixturePattern":
+        self.regular.bind(table)
+        self.random.bind(table)
+        super().bind(table)
+        return self
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        if ctx.rng.random() < self.p_random:
+            return self.random.lane_addresses(ctx)
+        return self.regular.lane_addresses(ctx)
+
+
+class PhaseShiftPattern(Pattern):
+    """``early`` for the first ``shift_at`` fraction of candidate
+    instances, ``late`` afterwards. Models programs whose initial
+    access behaviour differs from steady state, defeating a mapping
+    learned from the first 0.1% of instances (BFS, Section 6.1)."""
+
+    def __init__(self, early: Pattern, late: Pattern, shift_at: float) -> None:
+        super().__init__(early.array, early.element_bytes)
+        if not 0.0 < shift_at < 1.0:
+            raise TraceError(f"shift_at must be in (0, 1), got {shift_at}")
+        self.early = early
+        self.late = late
+        self.shift_at = shift_at
+
+    def bind(self, table: MemoryAllocationTable) -> "PhaseShiftPattern":
+        self.early.bind(table)
+        self.late.bind(table)
+        super().bind(table)
+        return self
+
+    def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
+        progress = ctx.instance_index / max(1, ctx.total_instances)
+        chosen = self.early if progress < self.shift_at else self.late
+        return chosen.lane_addresses(ctx)

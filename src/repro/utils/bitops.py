@@ -1,0 +1,108 @@
+"""Bit-manipulation helpers used by address mappings and the analyzers.
+
+All functions operate on plain non-negative Python integers (addresses)
+or on numpy integer arrays where noted, and are deliberately branch-light
+because the address mappers call them on every simulated memory access.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import ConfigError
+
+IntLike = Union[int, np.ndarray]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a power of two.
+
+    Raises :class:`ConfigError` for values that are not powers of two,
+    because every caller passes a hardware size (line size, page size,
+    stack count) that must be a power of two for bit-sliced mappings.
+    """
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def bit_slice(value: IntLike, low: int, width: int) -> IntLike:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    Works on scalars and numpy arrays alike: ``bit_slice(0b101100, 2, 3)``
+    returns ``0b011``.
+    """
+    if low < 0 or width <= 0:
+        raise ConfigError(f"invalid bit slice low={low} width={width}")
+    mask = (1 << width) - 1
+    return (value >> low) & mask
+
+
+def set_bit_slice(value: int, low: int, width: int, field: int) -> int:
+    """Return ``value`` with bits ``[low, low+width)`` replaced by ``field``."""
+    if field >> width:
+        raise ConfigError(f"field {field:#x} does not fit in {width} bits")
+    mask = ((1 << width) - 1) << low
+    return (value & ~mask) | (field << low)
+
+
+def xor_fold(value: IntLike, low: int, width: int, folds: int = 2) -> IntLike:
+    """XOR-combine ``folds`` consecutive ``width``-bit fields above ``low``.
+
+    This is the permutation trick of Zhang et al. [61] used by the
+    baseline GPU mapping: XORing higher-order bits into the stack index
+    avoids pathological power-of-two stride conflicts.
+    """
+    result = bit_slice(value, low, width)
+    for i in range(1, folds):
+        result = result ^ bit_slice(value, low + i * width, width)
+    return result
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ConfigError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ConfigError(f"alignment {alignment} is not a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def greatest_pow2_factor(value: int) -> int:
+    """Largest power of two dividing ``value`` (``value`` > 0).
+
+    Section 3.2.1 uses this on inter-array offsets: if the fixed offset
+    between accesses has a power-of-two factor ``2**M``, then address bits
+    below ``M`` are identical for the two accesses and any stack-index
+    bits chosen below ``M`` keep them in the same stack.
+    """
+    if value <= 0:
+        raise ConfigError(f"value must be positive, got {value}")
+    return value & -value
+
+
+def common_pow2_factor(values: "list[int]") -> int:
+    """Greatest power of two dividing every value in ``values``.
+
+    Zero entries are ignored (a zero offset is compatible with any
+    mapping). Returns 0 when the list is empty or all zero.
+    """
+    factor = 0
+    for value in values:
+        if value == 0:
+            continue
+        this = greatest_pow2_factor(abs(value))
+        factor = this if factor == 0 else min(factor, this)
+    return factor

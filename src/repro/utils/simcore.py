@@ -1,0 +1,306 @@
+"""A small discrete-event simulation kernel.
+
+The TOM simulator models the GPU, the off-chip links, and the 3D-stacked
+DRAM as a set of *serial bandwidth resources* (a link that moves N bytes
+per cycle, an SM issue pipeline that retires N instructions per cycle)
+plus *slot pools* (warp slots on an SM). Warp tasks are coroutine
+processes that walk through their execution phases by yielding requests:
+
+``Timeout(delay)``
+    Resume the process ``delay`` cycles later.
+``Acquire(resource, amount)``
+    Serialize ``amount`` units through a :class:`BandwidthResource`;
+    resume when the transfer (plus the resource's pipelined latency)
+    completes.
+``Get(pool)`` / ``Put(pool)``
+    Take or return one slot of a :class:`SlotPool`; ``Get`` blocks in
+    FIFO order when the pool is exhausted.
+``Wait(event)``
+    Block until an :class:`Event` is succeeded.
+``AllOf(items)``
+    Block until every child :class:`Process` / :class:`Event` finishes.
+
+This is intentionally a minimal subset of what a library like simpy
+offers — just enough to express the paper's queueing structure while
+remaining dependency-free and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError
+
+
+class Engine:
+    """Event heap + clock. All times are float cycles, monotonically
+    non-decreasing. Event ordering at equal times is insertion order,
+    which keeps runs fully deterministic."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._event_count = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def process(self, generator: Generator) -> "Process":
+        """Register a coroutine process and start it at the current time."""
+        proc = Process(self, generator)
+        self.schedule(0.0, lambda: proc._step(None))
+        return proc
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap; returns the final simulation time."""
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            self._event_count += 1
+            if max_events is not None and self._event_count > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            callback()
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+
+class Event:
+    """A one-shot event with callbacks. ``succeed`` may carry a value."""
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self.triggered = False
+        self.value = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value=None) -> None:
+        if self.triggered:
+            raise SimulationError("event succeeded twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._engine.schedule(0.0, lambda cb=callback: cb(self))
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self._engine.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+
+@dataclass
+class Timeout:
+    delay: float
+
+
+@dataclass
+class Acquire:
+    resource: "BandwidthResource"
+    amount: float
+
+
+@dataclass
+class Get:
+    pool: "SlotPool"
+
+
+@dataclass
+class Put:
+    pool: "SlotPool"
+
+
+@dataclass
+class Wait:
+    event: Event
+
+
+@dataclass
+class AllOf:
+    items: Sequence
+
+
+class Process:
+    """Wraps a generator; resumed by the engine when its current request
+    completes. ``done_event`` fires with the generator's return value."""
+
+    def __init__(self, engine: Engine, generator: Generator) -> None:
+        self._engine = engine
+        self._generator = generator
+        self.done_event = Event(engine)
+        self.finished = False
+        self.result = None
+
+    def _step(self, send_value) -> None:
+        try:
+            request = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done_event.succeed(stop.value)
+            return
+        self._dispatch(request)
+
+    def _dispatch(self, request) -> None:
+        engine = self._engine
+        if isinstance(request, Timeout):
+            engine.schedule(request.delay, lambda: self._step(None))
+        elif isinstance(request, Acquire):
+            completion = request.resource.reserve(request.amount)
+            engine.schedule_at(completion, lambda: self._step(completion))
+        elif isinstance(request, Get):
+            request.pool._get(self)
+        elif isinstance(request, Put):
+            request.pool.put()
+            engine.schedule(0.0, lambda: self._step(None))
+        elif isinstance(request, Wait):
+            request.event.add_callback(lambda ev: self._step(ev.value))
+        elif isinstance(request, AllOf):
+            self._wait_all(list(request.items))
+        else:
+            raise SimulationError(f"process yielded unknown request {request!r}")
+
+    def _wait_all(self, items: List) -> None:
+        pending = len(items)
+        if pending == 0:
+            self._engine.schedule(0.0, lambda: self._step(None))
+            return
+        state = {"left": pending}
+
+        def one_done(_ev) -> None:
+            state["left"] -= 1
+            if state["left"] == 0:
+                self._step(None)
+
+        for item in items:
+            event = item.done_event if isinstance(item, Process) else item
+            event.add_callback(one_done)
+
+
+class BandwidthResource:
+    """A serial server: ``amount`` units take ``amount / rate`` cycles of
+    exclusive occupancy, plus a pipelined ``latency`` that does not block
+    subsequent transfers. FIFO by request time.
+
+    Tracks cumulative busy time and units moved so monitors can compute
+    windowed utilization and the results code can report traffic.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        rate: float,
+        latency: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise SimulationError(f"resource {name!r} needs positive rate, got {rate}")
+        self._engine = engine
+        self.name = name
+        self.rate = rate
+        self.latency = latency
+        self._next_free = 0.0
+        self.busy_time = 0.0
+        self.units_moved = 0.0
+        self.transfers = 0
+
+    def reserve(self, amount: float) -> float:
+        """Book ``amount`` units; returns the completion time (including
+        latency). Zero-sized transfers complete after latency only."""
+        if amount < 0:
+            raise SimulationError(f"negative transfer of {amount} on {self.name!r}")
+        now = self._engine.now
+        start = max(now, self._next_free)
+        duration = amount / self.rate
+        self._next_free = start + duration
+        self.busy_time += duration
+        self.units_moved += amount
+        self.transfers += 1
+        return start + duration + self.latency
+
+    def queue_delay(self) -> float:
+        """How far the server is booked past the current time."""
+        return max(0.0, self._next_free - self._engine.now)
+
+    def utilization_snapshot(self) -> tuple[float, float]:
+        """(current time, cumulative busy time) for windowed monitors."""
+        return self._engine.now, self.busy_time
+
+
+class SlotPool:
+    """A counted resource with FIFO blocking ``Get`` and immediate ``Put``."""
+
+    def __init__(self, engine: Engine, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"pool {name!r} needs capacity >= 1, got {capacity}")
+        self._engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: List[Process] = []
+        self.peak_in_use = 0
+        self.total_gets = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def _get(self, process: Process) -> None:
+        if self.in_use < self.capacity:
+            self._grant(process)
+        else:
+            self._waiters.append(process)
+
+    def _grant(self, process: Process) -> None:
+        self.in_use += 1
+        self.total_gets += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        self._engine.schedule(0.0, lambda: process._step(None))
+
+    def put(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"pool {self.name!r} released below zero")
+        self.in_use -= 1
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            self._grant(waiter)
+
+    def try_get_nowait(self) -> bool:
+        """Non-blocking take used by the offload controller's pending-count
+        bookkeeping; returns False instead of queueing."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_gets += 1
+            self.peak_in_use = max(self.peak_in_use, self.in_use)
+            return True
+        return False
+
+
+def run_processes(generators: Iterable[Generator]) -> float:
+    """Convenience for tests: run independent processes to completion and
+    return the elapsed time."""
+    engine = Engine()
+    for generator in generators:
+        engine.process(generator)
+    return engine.run()

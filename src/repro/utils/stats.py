@@ -1,0 +1,127 @@
+"""Small statistics helpers: counters, means, and normalization.
+
+The simulator and the figure drivers only need a handful of primitives;
+keeping them here avoids sprinkling ad-hoc arithmetic through the
+reporting code and gives the tests a single place to pin semantics down.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence
+
+from ..errors import AnalysisError
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the paper averages speedups).
+
+    Raises :class:`AnalysisError` on empty input or non-positive entries,
+    which would silently corrupt a speedup average.
+    """
+    if not values:
+        raise AnalysisError("geometric mean of empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise AnalysisError(f"geometric mean requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain mean with an explicit empty-input error."""
+    if not values:
+        raise AnalysisError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
+    """Mean of ``(value, weight)`` pairs."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    if weight_sum == 0:
+        raise AnalysisError("weighted mean with zero total weight")
+    return total / weight_sum
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every entry by the entry at ``baseline_key``."""
+    if baseline_key not in values:
+        raise AnalysisError(f"baseline key {baseline_key!r} missing")
+    base = values[baseline_key]
+    if base == 0:
+        raise AnalysisError(f"baseline value for {baseline_key!r} is zero")
+    return {key: value / base for key, value in values.items()}
+
+
+def modal_fraction(counts: Counter) -> float:
+    """Fraction of the total mass held by the most common key.
+
+    Used for the co-location metric: the probability that an offloading
+    candidate instance's accesses hit a single memory stack is the modal
+    stack's share of its accesses.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        raise AnalysisError("modal fraction of empty counter")
+    return max(counts.values()) / total
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean without storing samples."""
+
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        self.count += 1
+        self.total += value * weight
+        self._weight = getattr(self, "_weight", 0.0) + weight
+
+    @property
+    def mean(self) -> float:
+        weight = getattr(self, "_weight", 0.0)
+        if weight == 0:
+            raise AnalysisError("mean of empty RunningMean")
+        return self.total / weight
+
+
+@dataclass
+class CounterGroup:
+    """A named bundle of additive counters.
+
+    The simulator components each own one of these; results aggregation
+    merges them. Missing keys read as zero so callers never need
+    ``setdefault`` chains.
+    """
+
+    name: str = ""
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self.values[key] = self.values.get(key, 0.0) + amount
+
+    def get(self, key: str) -> float:
+        return self.values.get(key, 0.0)
+
+    def merge(self, other: "CounterGroup") -> None:
+        for key, amount in other.values.items():
+            self.add(key, amount)
+
+    def scaled(self, factor: float) -> "CounterGroup":
+        return CounterGroup(
+            self.name, {key: value * factor for key, value in self.values.items()}
+        )
+
+    def total(self) -> float:
+        return sum(self.values.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.values)

@@ -1,0 +1,14 @@
+"""The Table 2 workload suite."""
+
+from .base import PaperWorkload, make_workload, register_workload, workload_names
+from .suite import PAPER, SUITE_ORDER, full_suite
+
+__all__ = [
+    "PAPER",
+    "PaperWorkload",
+    "SUITE_ORDER",
+    "full_suite",
+    "make_workload",
+    "register_workload",
+    "workload_names",
+]

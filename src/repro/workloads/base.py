@@ -1,0 +1,122 @@
+"""Workload base class and registry plumbing.
+
+Each of the paper's 10 memory-intensive workloads (Table 2) is modelled
+as a :class:`PaperWorkload`: a mini-PTX kernel whose structure (loops,
+instruction mix, live registers) mirrors the real application's hot
+kernel, plus an access-pattern model that reproduces its memory
+behaviour (fixed-offset fraction per Figure 5, coalescing, divergence,
+trip-count distribution). The compiler pass runs on the kernel, so the
+offloading candidates are *derived* — nothing is hand-tagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..trace.generator import TraceModel
+from ..trace.patterns import Pattern
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+class PaperWorkload(TraceModel):
+    """Base for the Table 2 workloads.
+
+    Subclasses fill in ``abbr``, ``full_name``, the kernel, the arrays,
+    and a pattern table keyed by array annotation (with optional
+    per-access overrides keyed by access id).
+    """
+
+    abbr = "???"
+    full_name = "unnamed workload"
+    #: paper-reported fixed-offset character, for documentation only
+    fixed_offset_profile = "unknown"
+    #: upper bound on candidate-loop trip counts; fixes the per-warp
+    #: array chunk (span) so warp base addresses stride uniformly
+    max_iterations = 16
+
+    #: named input-set variants (Section 1, Challenge 1: offload
+    #: profitability "may change dynamically due to ... different input
+    #: sets"); subclasses may add entries interpreted by iterations_for
+    variants: Dict[str, dict] = {"default": {}}
+
+    def __init__(self, variant: str = "default") -> None:
+        if variant not in self.variants:
+            raise ConfigError(
+                f"workload {self.abbr} has no variant {variant!r}; "
+                f"known: {sorted(self.variants)}"
+            )
+        self.variant = variant
+        self.variant_params = dict(self.variants[variant])
+        self.name = self.abbr
+        self._pattern_table: Dict[str, Pattern] = {}
+        self._access_overrides: Dict[int, Pattern] = {}
+        self._build_patterns()
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _build_patterns(self) -> None:
+        """Populate ``self._pattern_table`` (by array name) and, when an
+        array is accessed differently by different instructions,
+        ``self._access_overrides`` (by access id)."""
+        raise NotImplementedError
+
+    # -- TraceModel interface ----------------------------------------------
+
+    def pattern_for(self, array: Optional[str], access_id: int) -> Pattern:
+        if access_id in self._access_overrides:
+            return self._access_overrides[access_id]
+        if array is not None and array in self._pattern_table:
+            return self._pattern_table[array]
+        raise ConfigError(
+            f"workload {self.abbr}: no pattern for access {access_id} "
+            f"(array={array!r})"
+        )
+
+    # -- convenience --------------------------------------------------------
+
+    def linear(self, array: str, offset_elements: int = 0):
+        """A LinearPattern with this workload's fixed per-warp span
+        (``max_iterations * 32`` elements), so warp chunks tile the
+        array uniformly regardless of each instance's trip count."""
+        from ..trace.patterns import LinearPattern
+
+        return LinearPattern(
+            array,
+            offset_elements=offset_elements,
+            span_elements=self.max_iterations * 32,
+        )
+
+    def uniform_iterations(
+        self, rng: np.random.Generator, low: int, high: int
+    ) -> int:
+        return int(rng.integers(low, high + 1))
+
+
+_REGISTRY: Dict[str, Type[PaperWorkload]] = {}
+
+
+def register_workload(cls: Type[PaperWorkload]) -> Type[PaperWorkload]:
+    """Class decorator adding a workload to the suite registry."""
+    if cls.abbr in _REGISTRY:
+        raise ConfigError(f"duplicate workload abbreviation {cls.abbr!r}")
+    _REGISTRY[cls.abbr] = cls
+    return cls
+
+
+def workload_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def make_workload(abbr: str, variant: str = "default") -> PaperWorkload:
+    try:
+        cls = _REGISTRY[abbr]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {abbr!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(variant=variant)

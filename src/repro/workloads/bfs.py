@@ -1,0 +1,100 @@
+"""BFS — Breadth-First Graph Traversal (Rodinia [10]).
+
+The edge-expansion kernel: read a frontier node (regular), then walk
+its adjacency list — neighbour ids, visited flags, and cost updates
+are data-dependent gathers. BFS is the paper's irregular outlier:
+
+* Figure 5 places it in the lowest fixed-offset buckets;
+* warps diverge (not all lanes have frontier work);
+* its access behaviour changes between early and late instances — the
+  frontier wavefront moves — so the mapping learned from the first
+  0.1% of instances is *not* the best overall, and tmap slightly hurts
+  (Figure 8: +29% bmap vs +21% tmap; +64% with oracle knowledge).
+
+The model uses a phase-shifted pattern (window gathers whose base
+drifts) plus a heavy random mixture to reproduce all three traits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import (
+    LinearPattern,
+    LocalRandomPattern,
+    MixturePattern,
+    PhaseShiftPattern,
+    StridedPattern,
+)
+from .base import KB, MB, PaperWorkload, register_workload
+
+
+@register_workload
+class BfsWorkload(PaperWorkload):
+    abbr = "BFS"
+    full_name = "BFS Graph Traversal"
+    fixed_offset_profile = "0-25% fixed offset"
+    default_iterations = 6
+    max_iterations = 12
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "bfs_kernel", params=["%gp", "%ep", "%vp", "%cp", "%deg"]
+        )
+        b.ld_global("%node", addr=["%gp"], array="frontier")
+        b.mov("%e", 0)
+        b.label("edges")
+        b.ld_global("%nbr", addr=["%ep", "%e"], array="edges")
+        b.ld_global("%vis", addr=["%vp", "%nbr"], array="visited")
+        b.add("%nc", "%node", 1)
+        b.st_global(addr=["%cp", "%nbr"], value="%nc", array="cost")
+        b.add("%e", "%e", 1)
+        b.setp("%p", "%e", "%deg")
+        b.bra("edges", pred="%p")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [
+            ("frontier", 2 * MB),
+            ("edges", 16 * MB),
+            ("visited", 4 * MB),
+            ("cost", 4 * MB),
+        ]
+
+    def _build_patterns(self) -> None:
+        def shifted_gather(array: str) -> PhaseShiftPattern:
+            # Early wavefront: tight windows near the array start;
+            # late wavefront: strided walks far apart. The best stack-
+            # index bits differ between the two regimes.
+            early = LocalRandomPattern(array, window_elements=4 * KB)
+            late = StridedPattern(array, stride_elements=1 << 11)
+            return PhaseShiftPattern(early, late, shift_at=0.25)
+
+        def irregular(array: str) -> MixturePattern:
+            return MixturePattern(
+                regular=shifted_gather(array),
+                random=LocalRandomPattern(array, window_elements=256 * KB),
+                p_random=0.75,
+            )
+
+        self._pattern_table = {
+            "frontier": self.linear("frontier"),
+            "edges": irregular("edges"),
+            "visited": irregular("visited"),
+            "cost": irregular("cost"),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        # Degree distribution: many small frontiers, some large.
+        if rng.random() < 0.3:
+            return self.uniform_iterations(rng, 1, 3)
+        return self.uniform_iterations(rng, 4, 12)
+
+    def active_lanes(self, warp_id: int, rng: np.random.Generator) -> int:
+        # Frontier divergence: warps rarely have all 32 lanes active.
+        return int(rng.integers(8, 33))

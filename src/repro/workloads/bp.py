@@ -1,0 +1,64 @@
+"""BP — Back Propagation (Rodinia [10]).
+
+The forward layer kernel: each output unit accumulates
+``weight[j][i] * input[i]`` over the input layer, then applies the
+activation and stores the result. The accumulation loop (two streaming
+loads, one MAD) is the offloading candidate; the activation epilogue
+(transcendental ALU + one store) stays on the main GPU. Weights and
+inputs stream with the same index — all accesses fixed offset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern
+from .base import MB, PaperWorkload, register_workload
+
+
+@register_workload
+class BackPropWorkload(PaperWorkload):
+    abbr = "BP"
+    full_name = "Back Propagation (layer forward)"
+    fixed_offset_profile = "all accesses fixed offset"
+    default_iterations = 8
+    max_iterations = 12
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "bpnn_layerforward", params=["%inp", "%wp", "%outp", "%nin"]
+        )
+        b.mov("%sum", 0)
+        b.mov("%i", 0)
+        b.label("accum")
+        b.ld_global("%x", addr=["%inp", "%i"], array="input")
+        b.ld_global("%w", addr=["%wp", "%i"], array="weights")
+        b.mad("%sum", "%x", "%w", "%sum")
+        b.add("%i", "%i", 1)
+        b.setp("%p", "%i", "%nin")
+        b.bra("accum", pred="%p")
+        # activation epilogue: 1 / (1 + exp(-sum))
+        b.mul("%t0", "%sum", -1.0)
+        b.exp("%t1", "%t0")
+        b.add("%t2", "%t1", 1.0)
+        b.rcp("%act", "%t2")
+        b.st_global(addr=["%outp"], value="%act", array="hidden")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [("input", 8 * MB), ("weights", 8 * MB), ("hidden", 2 * MB)]
+
+    def _build_patterns(self) -> None:
+        self._pattern_table = {
+            "input": self.linear("input"),
+            "weights": self.linear("weights"),
+            "hidden": LinearPattern("hidden", span_elements=1),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        return self.uniform_iterations(rng, 6, 12)

@@ -1,0 +1,80 @@
+"""CFD — CFD Solver (Rodinia [10]).
+
+The flux-computation kernel over an unstructured mesh: each cell
+streams its own state (regular) but gathers neighbour states through
+the element-connectivity index (irregular with spatial locality), and
+the flux math is ALU-heavy. Figure 5 places CFD in the middle
+fixed-offset buckets; its TOM speedup is moderate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern, LocalRandomPattern
+from .base import KB, MB, PaperWorkload, register_workload
+
+
+@register_workload
+class CfdWorkload(PaperWorkload):
+    abbr = "CFD"
+    full_name = "CFD Solver (compute_flux)"
+    fixed_offset_profile = "50-75% fixed offset"
+    default_iterations = 4
+    max_iterations = 8
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "compute_flux", params=["%vp", "%np", "%fp", "%nnb"]
+        )
+        b.ld_global("%rho", addr=["%vp"], array="variables")
+        b.mov("%flux", 0)
+        b.mov("%j", 0)
+        b.label("nbrs")
+        # per face: the face normal streams with the cell (regular),
+        # the per-face flux store is regular, while the neighbour's
+        # state and momentum come through the connectivity (gathers)
+        b.ld_global("%nrm", addr=["%np", "%j"], array="normals")
+        b.ld_global("%vn", addr=["%np", "%j"], array="neighbors")
+        b.ld_global("%mn", addr=["%np", "%j"], array="momentum")
+        b.sub("%dv", "%vn", "%rho")
+        b.mad("%a1", "%dv", "%nrm", "%mn")
+        b.mul("%a2", "%a1", 1.4)
+        b.st_global(addr=["%fp", "%j"], value="%a2", array="fluxes")
+        b.add("%flux", "%flux", "%a2")
+        b.add("%j", "%j", 1)
+        b.setp("%p", "%j", "%nnb")
+        b.bra("nbrs", pred="%p")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [
+            ("variables", 8 * MB),
+            ("neighbors", 8 * MB),
+            ("momentum", 8 * MB),
+            ("normals", 8 * MB),
+            ("fluxes", 8 * MB),
+        ]
+
+    def _build_patterns(self) -> None:
+        # Normals and fluxes stream with the cell (fixed offset); the
+        # neighbour state/momentum gathers go through the unstructured
+        # connectivity (irregular with spatial locality) — half of the
+        # loop's accesses are fixed offset, half are not (Figure 5's
+        # middle bucket).
+        self._pattern_table = {
+            "variables": self.linear("variables"),
+            "neighbors": LocalRandomPattern("neighbors", window_elements=64 * KB),
+            "momentum": LocalRandomPattern("momentum", window_elements=64 * KB),
+            "normals": self.linear("normals"),
+            "fluxes": self.linear("fluxes"),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        # Neighbour counts across faces of a fan of elements.
+        return self.uniform_iterations(rng, 4, 8)

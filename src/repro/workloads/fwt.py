@@ -1,0 +1,58 @@
+"""FWT — Fast Walsh Transform (CUDA SDK [39]).
+
+Butterfly stages: each step loads an element and its XOR-partner and
+stores the combined values. Partner distances are constant within a
+stage (power-of-two offsets), so accesses are fixed-offset — with the
+twist that the offset *changes across stages*, exercising the
+consecutive-bit sweep's preference for low positions (offsets share
+only small power-of-two factors across all stages).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import ButterflyPattern, LinearPattern
+from .base import MB, PaperWorkload, register_workload
+
+
+@register_workload
+class FwtWorkload(PaperWorkload):
+    abbr = "FWT"
+    full_name = "Fast Walsh Transform"
+    fixed_offset_profile = "all accesses fixed offset"
+    default_iterations = 8
+    max_iterations = 10
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("fwt_batch", params=["%dp", "%stride", "%nstage"])
+        b.mov("%s", 0)
+        b.label("stage")
+        b.ld_global("%a", addr=["%dp", "%s"], array="data")
+        b.ld_global("%bv", addr=["%dp", "%s", "%stride"], array="data")
+        b.add("%u", "%a", "%bv")
+        b.sub("%v", "%a", "%bv")
+        b.st_global(addr=["%dp", "%s"], value="%u", array="data")
+        b.add("%s", "%s", 1)
+        b.setp("%p", "%s", "%nstage")
+        b.bra("stage", pred="%p")
+        b.st_global(addr=["%dp"], value="%v", array="data")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [("data", 16 * MB)]
+
+    def _build_patterns(self) -> None:
+        self._pattern_table = {"data": self.linear("data")}
+        self._access_overrides = {
+            1: ButterflyPattern("data"),  # the partner load
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        # log2(problem size) stages per batch element
+        return self.uniform_iterations(rng, 6, 10)

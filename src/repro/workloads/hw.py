@@ -1,0 +1,82 @@
+"""HW — Heartwall (Rodinia [10]).
+
+Ultrasound image tracking: template convolution over image windows.
+The inner loop streams the frame and the template with a fixed offset
+between them, but the surrounding code is ALU-heavy (correlation
+arithmetic), so memory-bandwidth savings from offloading are limited —
+HW shows one of the smaller TOM speedups in Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern, LocalRandomPattern
+from .base import KB, MB, PaperWorkload, register_workload
+
+
+@register_workload
+class HeartwallWorkload(PaperWorkload):
+    abbr = "HW"
+    full_name = "Heartwall (template correlation)"
+    fixed_offset_profile = "75-99% fixed offset"
+    default_iterations = 8
+    max_iterations = 12
+    plain_repeat = 4  # surrounding per-point ALU work dominates
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "heartwall_track", params=["%imgp", "%tplp", "%mskp", "%outp", "%wsz"]
+        )
+        # per-point setup arithmetic (non-candidate, repeated)
+        b.mul("%u0", "%wsz", 2)
+        b.add("%u1", "%u0", 3)
+        b.mul("%u2", "%u1", "%u1")
+        b.rcp("%u3", "%u2")
+        b.mov("%corr", 0)
+        b.mov("%k", 0)
+        b.label("conv")
+        b.ld_global("%pix", addr=["%imgp", "%k"], array="frame")
+        b.ld_global("%pix2", addr=["%imgp", "%k", 1], array="frame2")
+        b.ld_global("%tpl", addr=["%tplp", "%k"], array="template")
+        b.ld_global("%msk", addr=["%mskp", "%k"], array="mask")
+        b.mul("%m0", "%pix", "%tpl")
+        b.mad("%corr", "%m0", 0.125, "%corr")
+        b.mad("%n0", "%pix2", "%msk", "%m0")
+        b.mul("%n1", "%n0", 0.5)
+        b.add("%corr", "%corr", "%n1")
+        b.add("%k", "%k", 1)
+        b.setp("%p", "%k", "%wsz")
+        b.bra("conv", pred="%p")
+        b.sqrt("%c1", "%corr")
+        b.abs_("%c2", "%c1")
+        b.st_global(addr=["%outp"], value="%c2", array="track")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [
+            ("frame", 8 * MB),
+            ("template", 4 * MB),
+            ("mask", 4 * MB),
+            ("track", 2 * MB),
+        ]
+
+    def _build_patterns(self) -> None:
+        # Three of the four loop accesses stream with the window (fixed
+        # offset); the ROI mask lookup is data-dependent — HW lands in
+        # Figure 5's 75-99% bucket.
+        self._pattern_table = {
+            "frame": self.linear("frame"),
+            "frame2": self.linear("frame", offset_elements=1),
+            "template": self.linear("template"),
+            "mask": LocalRandomPattern("mask", window_elements=16 * KB),
+            "track": LinearPattern("track", span_elements=1),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        return self.uniform_iterations(rng, 6, 12)

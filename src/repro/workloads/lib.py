@@ -1,0 +1,95 @@
+"""LIB — LIBOR Monte Carlo (GPGPU-Sim suite [6, 18]).
+
+This is the paper's running example (Figure 4 / Section 3.1.5): the
+``portfolio_b`` back-path has two loops, each with one load and one
+store per iteration and a handful of live-in registers. Both loops are
+*conditional* offloading candidates — profitable only past the
+break-even iteration count the compiler derives (4 for the first loop).
+Access behaviour is perfectly regular: ``L`` and ``L_b`` are indexed by
+the same induction variable, so every access pair has a fixed offset
+(Figure 5 shows LIB in the all-fixed-offset group).
+
+Dynamic character: very memory-intensive with little non-candidate
+work, which is why uncontrolled offloading collapses (-64% in
+Figure 8: the two stack SM loops swamp the logic-layer SMs) while
+controlled offloading yields one of the best speedups (+52%).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern
+from .base import MB, PaperWorkload, register_workload
+
+
+@register_workload
+class LiborWorkload(PaperWorkload):
+    abbr = "LIB"
+    full_name = "LIBOR Monte Carlo (portfolio_b back path)"
+    fixed_offset_profile = "all accesses fixed offset"
+    default_iterations = 16
+    max_iterations = 24
+    #: 'short' models a portfolio of near-maturity swaps: loop trip
+    #: counts sit below the compiler's 4-iteration break-even, so the
+    #: conditional candidates are (correctly) almost never offloaded —
+    #: the input-set adaptivity the paper motivates in Challenge 1
+    variants = {
+        "default": {"low": 12, "high": 24, "short_fraction": 0.06},
+        "short": {"low": 1, "high": 3, "short_fraction": 1.0},
+    }
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "portfolio_b",
+            params=["%Lp", "%Lbp", "%Nmat", "%N", "%delta", "%v", "%bcoef"],
+        )
+        # L_b[n] = -v * delta / (1.0 + delta * L[n])   for n in [0, Nmat)
+        b.mov("%n", 0)
+        b.label("loop1")
+        b.ld_global("%f1", addr=["%Lp", "%n"], array="L")
+        b.mad("%f2", "%delta", "%f1", 1.0)
+        b.mul("%f4", "%v", "%delta")
+        b.div("%f3", "%f4", "%f2")
+        b.st_global(addr=["%Lbp", "%n"], value="%f3", array="L_b")
+        b.add("%n", "%n", 1)
+        b.setp("%p1", "%n", "%Nmat")
+        b.bra("loop1", pred="%p1")
+        # L_b[n] = b * L_b[n]                         for n in [Nmat, N)
+        b.mov("%m", "%Nmat")
+        b.label("loop2")
+        b.ld_global("%g1", addr=["%Lbp", "%m"], array="L_b")
+        b.mul("%g2", "%bcoef", "%g1")
+        b.st_global(addr=["%Lbp", "%m"], value="%g2", array="L_b")
+        b.add("%m", "%m", 1)
+        b.setp("%p2", "%m", "%N")
+        b.bra("loop2", pred="%p2")
+        # epilogue: return v through the output array
+        b.mul("%h1", "%v", "%v")
+        b.st_global(addr=["%outp"], value="%h1", array="out")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [("L", 8 * MB), ("L_b", 8 * MB), ("out", 1 * MB)]
+
+    def _build_patterns(self) -> None:
+        self._pattern_table = {
+            "L": self.linear("L"),
+            "L_b": self.linear("L_b"),
+            "out": LinearPattern("out", span_elements=1),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        # Maturity horizons: comfortably past the 4-iteration break-even
+        # for nearly all instances, below it for a few (so conditional
+        # offloading actually filters at run time). The 'short' variant
+        # puts every instance below the threshold.
+        params = self.variant_params
+        if rng.random() < params["short_fraction"]:
+            return self.uniform_iterations(rng, 1, 3)
+        return self.uniform_iterations(rng, params["low"], params["high"])

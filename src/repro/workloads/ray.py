@@ -1,0 +1,74 @@
+"""RAY — Ray Tracing (GPGPU-Sim suite [6]).
+
+Primary-ray casting: each ray walks scene/BVH nodes. Node fetches have
+spatial locality (nearby rays hit nearby nodes) but are not strictly
+regular; intersection math adds ALU work; the shaded pixel store is
+regular. A middling fixed-offset profile and a moderate TOM speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern, LocalRandomPattern
+from .base import KB, MB, PaperWorkload, register_workload
+
+
+@register_workload
+class RayTracingWorkload(PaperWorkload):
+    abbr = "RAY"
+    full_name = "Ray Tracing (primary rays)"
+    fixed_offset_profile = "50-75% fixed offset"
+    default_iterations = 6
+    max_iterations = 12
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("render", params=["%rayp", "%scnp", "%pixp", "%depth"])
+        b.ld_global("%org", addr=["%rayp"], array="rays")
+        b.mov("%t", 0)
+        b.mov("%d", 0)
+        b.label("walk")
+        # ray segment data and the triangle list stream regularly;
+        # the BVH node fetch is data-dependent (irregular with locality)
+        b.ld_global("%dir", addr=["%rayp", "%d"], array="rays")
+        b.ld_global("%tri", addr=["%scnp", "%d"], array="triangles")
+        b.ld_global("%node", addr=["%scnp", "%d"], array="scene")
+        b.sub("%dx", "%node", "%org")
+        b.mad("%q0", "%dx", "%tri", "%dir")
+        b.min_("%t", "%q0", "%node")
+        b.add("%d", "%d", 1)
+        b.setp("%p", "%d", "%depth")
+        b.bra("walk", pred="%p")
+        b.sqrt("%sh", "%t")
+        b.mul("%col", "%sh", 255.0)
+        b.st_global(addr=["%pixp"], value="%col", array="pixels")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [
+            ("rays", 4 * MB),
+            ("scene", 16 * MB),
+            ("triangles", 16 * MB),
+            ("pixels", 4 * MB),
+        ]
+
+    def _build_patterns(self) -> None:
+        self._pattern_table = {
+            "rays": self.linear("rays"),
+            "triangles": self.linear("triangles"),
+            "scene": LocalRandomPattern("scene", window_elements=128 * KB),
+            "pixels": LinearPattern("pixels", span_elements=1),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        # BVH walk depth varies per ray packet.
+        return self.uniform_iterations(rng, 6, 12)
+
+    def active_lanes(self, warp_id: int, rng: np.random.Generator) -> int:
+        # Some rays terminate early.
+        return int(rng.integers(20, 33))

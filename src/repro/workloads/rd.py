@@ -1,0 +1,66 @@
+"""RD — Parallel Reduction (CUDA SDK [39]).
+
+Tree reduction: each step loads two elements, adds, and stores one
+partial. Stores every iteration make the TX channel (addresses + data
+words) the expensive side, so offloading saves the most traffic here —
+RD is the best TOM result in Figure 8 (+76%). The offloaded block is
+also ALU-rich (index arithmetic + adds beside the two loads and one
+store), which is why giving stack SMs 4x warp capacity backfires for
+RD in Figure 11: their compute pipelines become the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern
+from .base import MB, PaperWorkload, register_workload
+
+
+@register_workload
+class ReductionWorkload(PaperWorkload):
+    abbr = "RD"
+    full_name = "Parallel Reduction"
+    fixed_offset_profile = "all accesses fixed offset"
+    default_iterations = 12
+    max_iterations = 16
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("reduce", params=["%inp", "%outp", "%n"])
+        b.mov("%i", 0)
+        b.label("loop")
+        # index arithmetic: even/odd pair of the tree level
+        b.shl("%i2", "%i", 1)
+        b.add("%i2b", "%i2", 1)
+        b.ld_global("%x", addr=["%inp", "%i2"], array="din")
+        b.ld_global("%y", addr=["%inp", "%i2b"], array="din")
+        b.add("%s", "%x", "%y")
+        b.mul("%s2", "%s", 0.5)
+        b.st_global(addr=["%outp", "%i"], value="%s2", array="dout")
+        b.add("%i", "%i", 1)
+        b.setp("%p", "%i", "%n")
+        b.bra("loop", pred="%p")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [("din", 16 * MB), ("dout", 8 * MB)]
+
+    def _build_patterns(self) -> None:
+        # din is read in even/odd pairs: element index ~ 2*i and 2*i+1.
+        # Both are linear scans with the same base index, so they form
+        # fixed-offset pairs with each other and with the dout store.
+        self._pattern_table = {
+            "din": self.linear("din"),
+            "dout": self.linear("dout"),
+        }
+        self._access_overrides = {
+            1: self.linear("din", offset_elements=1),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        return self.uniform_iterations(rng, 8, 16)

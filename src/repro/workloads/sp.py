@@ -1,0 +1,57 @@
+"""SP — Scalar Product (CUDA SDK [39]).
+
+Dot products of long vector pairs: the hot loop loads ``a[i]`` and
+``b[i]`` and accumulates. Nearly every dynamic instruction is in the
+loop, both arrays stream with the same index (perfect fixed offset),
+and almost nothing comes back (one accumulated value) — the RX channel
+dominates and offloading removes almost all of it. SP is the kind of
+workload with the highest ideal NDP speedup in Figure 2 (up to 2.19x).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..trace.patterns import LinearPattern
+from .base import MB, PaperWorkload, register_workload
+
+
+@register_workload
+class ScalarProductWorkload(PaperWorkload):
+    abbr = "SP"
+    full_name = "Scalar Product"
+    fixed_offset_profile = "all accesses fixed offset"
+    default_iterations = 16
+    max_iterations = 20
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("scalar_product", params=["%ap", "%bp", "%cp", "%len"])
+        b.mov("%acc", 0)
+        b.mov("%i", 0)
+        b.label("loop")
+        b.ld_global("%x", addr=["%ap", "%i"], array="a")
+        b.ld_global("%y", addr=["%bp", "%i"], array="b")
+        b.mad("%acc", "%x", "%y", "%acc")
+        b.add("%i", "%i", 1)
+        b.setp("%p", "%i", "%len")
+        b.bra("loop", pred="%p")
+        b.st_global(addr=["%cp"], value="%acc", array="c")
+        b.exit()
+        return b.build()
+
+    def array_specs(self) -> List[Tuple[str, int]]:
+        return [("a", 16 * MB), ("b", 16 * MB), ("c", 1 * MB)]
+
+    def _build_patterns(self) -> None:
+        self._pattern_table = {
+            "a": self.linear("a"),
+            "b": self.linear("b"),
+            "c": LinearPattern("c", span_elements=1),
+        }
+
+    def iterations_for(self, block_id: int, warp_id: int, rng: np.random.Generator) -> int:
+        return self.uniform_iterations(rng, 12, 20)

@@ -1,0 +1,159 @@
+"""Tests for the address mappings (Section 3.2 / baseline [9])."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ndp_config
+from repro.errors import ConfigError
+from repro.memory.address_mapping import (
+    BaselineMapping,
+    ConsecutiveBitMapping,
+    HybridMapping,
+    all_consecutive_mappings,
+    sweep_positions,
+)
+
+CFG = ndp_config()
+LINE = CFG.messages.cache_line_bytes
+
+addresses = st.integers(0, 2**40 - 1).map(lambda a: a & ~(LINE - 1))
+
+
+class TestBaselineMapping:
+    def test_in_range(self):
+        mapping = BaselineMapping(CFG)
+        for addr in (0, LINE, 123 * LINE, 1 << 30):
+            assert 0 <= mapping.stack_of(addr) < 4
+            assert 0 <= mapping.vault_of(addr) < 16
+
+    def test_consecutive_lines_spread_across_stacks(self):
+        mapping = BaselineMapping(CFG)
+        stacks = {int(mapping.stack_of(i * LINE)) for i in range(4)}
+        assert len(stacks) == 4
+
+    def test_balanced_partition(self):
+        mapping = BaselineMapping(CFG)
+        lines = np.arange(4096, dtype=np.int64) * LINE
+        counts = np.bincount(mapping.stack_of(lines), minlength=4)
+        assert counts.min() > 0.2 * counts.max()
+
+    def test_xor_breaks_power_of_two_strides(self):
+        # with a large power-of-two stride, a plain modulo mapping would
+        # put every access in one stack; the XOR fold must not
+        mapping = BaselineMapping(CFG)
+        stride = 1 << 16
+        stacks = {int(mapping.stack_of(i * stride)) for i in range(64)}
+        assert len(stacks) > 1
+
+    def test_scalar_and_vector_agree(self):
+        mapping = BaselineMapping(CFG)
+        lines = np.arange(100, dtype=np.int64) * LINE * 3
+        vector = mapping.stack_of(lines)
+        for addr, stack in zip(lines, vector):
+            assert mapping.stack_of(int(addr)) == stack
+
+    @given(addresses)
+    def test_deterministic(self, addr):
+        mapping = BaselineMapping(CFG)
+        assert mapping.stack_of(addr) == mapping.stack_of(addr)
+        assert 0 <= mapping.stack_of(addr) < 4
+        assert 0 <= mapping.vault_of(addr) < 16
+
+
+class TestConsecutiveBitMapping:
+    def test_field_extraction(self):
+        mapping = ConsecutiveBitMapping(CFG, position=12)
+        assert mapping.stack_of(0) == 0
+        assert mapping.stack_of(1 << 12) == 1
+        assert mapping.stack_of(3 << 12) == 3
+        assert mapping.stack_of(1 << 14) == 0  # above the field
+
+    def test_cannot_slice_line_offset(self):
+        with pytest.raises(ConfigError):
+            ConsecutiveBitMapping(CFG, position=3)
+
+    def test_chunk_contiguity(self):
+        # every address within one 2^p-aligned chunk maps to one stack
+        mapping = ConsecutiveBitMapping(CFG, position=13)
+        base = 5 << 13
+        stacks = {
+            int(mapping.stack_of(base + off)) for off in range(0, 1 << 13, LINE)
+        }
+        assert len(stacks) == 1
+
+    def test_fixed_offset_property(self):
+        # offsets with a 2^(p+2) factor preserve the stack (Section 3.2.1)
+        mapping = ConsecutiveBitMapping(CFG, position=10)
+        offset = 1 << 12  # 2^(10+2)
+        for addr in (0, LINE, 9 * LINE, (1 << 20) + LINE):
+            assert mapping.stack_of(addr) == mapping.stack_of(addr + offset)
+
+    def test_vault_spread_when_field_above_lines(self):
+        mapping = ConsecutiveBitMapping(CFG, position=12)
+        vaults = {int(mapping.vault_of(i * LINE)) for i in range(16)}
+        assert len(vaults) == 16
+
+    def test_vault_skips_stack_field_at_line_bit(self):
+        mapping = ConsecutiveBitMapping(CFG, position=7)
+        assert 0 <= mapping.vault_of(123 * LINE) < 16
+
+    @given(addresses, st.integers(7, 16))
+    def test_in_range(self, addr, position):
+        mapping = ConsecutiveBitMapping(CFG, position)
+        assert 0 <= mapping.stack_of(addr) < 4
+        assert 0 <= mapping.vault_of(addr) < 16
+
+
+class TestSweep:
+    def test_positions_default_7_to_16(self):
+        assert sweep_positions(CFG) == list(range(7, 17))
+
+    def test_all_mappings(self):
+        mappings = all_consecutive_mappings(CFG)
+        assert len(mappings) == 10
+        assert [m.position for m in mappings] == list(range(7, 17))
+
+
+class TestHybridMapping:
+    def test_candidate_pages_use_learned(self):
+        learned = ConsecutiveBitMapping(CFG, position=12)
+        page = (1 << 20) // CFG.mapping.page_bytes
+        hybrid = HybridMapping(CFG, learned, candidate_pages={page})
+        addr = 1 << 20
+        assert hybrid.stack_of(addr) == learned.stack_of(addr)
+
+    def test_other_pages_use_baseline(self):
+        learned = ConsecutiveBitMapping(CFG, position=12)
+        hybrid = HybridMapping(CFG, learned, candidate_pages={5})
+        baseline = BaselineMapping(CFG)
+        addr = 40 << 20  # far from page 5
+        assert hybrid.stack_of(addr) == baseline.stack_of(addr)
+
+    def test_empty_candidate_set_is_pure_baseline(self):
+        learned = ConsecutiveBitMapping(CFG, position=12)
+        hybrid = HybridMapping(CFG, learned, candidate_pages=set())
+        baseline = BaselineMapping(CFG)
+        lines = np.arange(256, dtype=np.int64) * LINE * 7
+        assert list(hybrid.stack_of(lines)) == list(baseline.stack_of(lines))
+
+    def test_vectorized_matches_scalar(self):
+        learned = ConsecutiveBitMapping(CFG, position=12)
+        pages = {i for i in range(100, 140)}
+        hybrid = HybridMapping(CFG, learned, candidate_pages=pages)
+        lines = (np.arange(512, dtype=np.int64) * 3072) & ~np.int64(LINE - 1)
+        vector = hybrid.stack_of(lines)
+        for addr, stack in zip(lines, vector):
+            assert hybrid.stack_of(int(addr)) == stack
+
+    def test_vault_dispatch(self):
+        learned = ConsecutiveBitMapping(CFG, position=12)
+        hybrid = HybridMapping(CFG, learned, candidate_pages={0})
+        assert 0 <= hybrid.vault_of(0) < 16
+        assert 0 <= hybrid.vault_of(1 << 30) < 16
+
+    def test_describe_mentions_pages(self):
+        learned = ConsecutiveBitMapping(CFG, position=9)
+        hybrid = HybridMapping(CFG, learned, candidate_pages={1, 2})
+        assert "2 candidate pages" in hybrid.describe()

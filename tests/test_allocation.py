@@ -1,0 +1,105 @@
+"""Tests for the memory allocation table (Section 4.3 / 6.6)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.allocation import (
+    ENTRY_BITS,
+    MAX_ENTRIES,
+    TABLE_BITS,
+    MemoryAllocationTable,
+)
+
+
+class TestAllocation:
+    def test_page_alignment(self):
+        table = MemoryAllocationTable(page_bytes=4096)
+        a = table.allocate("a", 1000)
+        b = table.allocate("b", 5000)
+        assert a.start % 4096 == 0
+        assert b.start % 4096 == 0
+        assert b.start >= a.end
+
+    def test_guard_pages_separate_arrays(self):
+        table = MemoryAllocationTable(page_bytes=4096)
+        a = table.allocate("a", 4096, guard_pages=2)
+        b = table.allocate("b", 4096)
+        assert b.start - a.end >= 2 * 4096
+
+    def test_lookup(self):
+        table = MemoryAllocationTable()
+        a = table.allocate("a", 8192)
+        assert table.lookup(a.start) is a
+        assert table.lookup(a.start + 8191) is a
+        assert table.lookup(a.end) is not a
+
+    def test_named_access(self):
+        table = MemoryAllocationTable()
+        table.allocate("weights", 4096)
+        assert table["weights"].length == 4096
+        assert "weights" in table
+        assert "other" not in table
+        with pytest.raises(AllocationError):
+            table["other"]
+
+    def test_duplicate_name_rejected(self):
+        table = MemoryAllocationTable()
+        table.allocate("x", 100)
+        with pytest.raises(AllocationError):
+            table.allocate("x", 100)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            MemoryAllocationTable().allocate("x", 0)
+
+    def test_table_capacity_is_100(self):
+        table = MemoryAllocationTable()
+        for i in range(MAX_ENTRIES):
+            table.allocate(f"a{i}", 4096)
+        with pytest.raises(AllocationError):
+            table.allocate("overflow", 4096)
+
+    def test_iteration_order(self):
+        table = MemoryAllocationTable()
+        names = ["x", "y", "z"]
+        for name in names:
+            table.allocate(name, 4096)
+        assert [entry.name for entry in table] == names
+        assert len(table) == 3
+
+
+class TestCandidateMarking:
+    def test_mark_sets_flag(self):
+        table = MemoryAllocationTable()
+        a = table.allocate("a", 8192)
+        table.allocate("b", 8192)
+        assert table.mark_candidate(a.start + 100)
+        assert a.accessed_by_candidate
+        assert [r.name for r in table.candidate_ranges()] == ["a"]
+
+    def test_mark_outside_any_range(self):
+        table = MemoryAllocationTable()
+        table.allocate("a", 4096)
+        assert not table.mark_candidate(1)
+
+    def test_candidate_pages_cover_range(self):
+        table = MemoryAllocationTable(page_bytes=4096)
+        a = table.allocate("a", 3 * 4096 + 1)
+        table.mark_candidate(a.start)
+        pages = table.candidate_pages()
+        assert len(pages) == 4
+        assert a.start // 4096 in pages
+        assert (a.end - 1) // 4096 in pages
+
+    def test_unmarked_table_has_no_pages(self):
+        table = MemoryAllocationTable()
+        table.allocate("a", 4096)
+        assert table.candidate_pages() == set()
+
+
+class TestStorageAccounting:
+    def test_paper_numbers(self):
+        assert ENTRY_BITS == 97
+        assert MAX_ENTRIES == 100
+        assert TABLE_BITS == 9700
+        assert MemoryAllocationTable().storage_bits == 9700

@@ -1,0 +1,110 @@
+"""Tests for the ALU-aware aggressiveness extension (Section 6.4)."""
+
+import dataclasses
+
+import pytest
+
+from repro import TraceScale, WorkloadRunner, ndp_config
+from repro.compiler import OffloadMetadataTable, select_candidates
+from repro.compiler.metadata import MetadataEntry
+from repro.core.policies import NDP_CTRL_TMAP
+from repro.core.simulator import Simulator
+from repro.errors import ConfigError
+from repro.ndp.controller import DecisionReason, OffloadController
+from repro.workloads import make_workload
+
+
+def aware_config(threshold=0.5):
+    cfg = ndp_config()
+    return dataclasses.replace(
+        cfg,
+        control=dataclasses.replace(
+            cfg.control, alu_aware_control=True, alu_fraction_threshold=threshold
+        ),
+    )
+
+
+class _FixedUtil:
+    def __init__(self, value):
+        self.value = value
+
+    def utilization(self):
+        return self.value
+
+
+def entry(alu_fraction):
+    return MetadataEntry(
+        block_id=0,
+        begin_pc=0,
+        end_pc=4,
+        live_in=(),
+        live_out=(),
+        saves_tx=True,
+        saves_rx=True,
+        condition=None,
+        alu_fraction=alu_fraction,
+    )
+
+
+class TestMetadataAluFraction:
+    def test_fraction_computed_from_candidate(self):
+        selection = select_candidates(make_workload("RD").build_kernel())
+        table = OffloadMetadataTable(selection)
+        fraction = table.lookup(0).alu_fraction
+        candidate = selection.candidates[0]
+        expected = candidate.n_alu / candidate.instructions_per_iteration
+        assert fraction == pytest.approx(expected)
+        assert fraction >= 0.5  # RD's block is ALU-rich
+
+    def test_sp_is_memory_dominated(self):
+        selection = select_candidates(make_workload("SP").build_kernel())
+        table = OffloadMetadataTable(selection)
+        assert table.lookup(0).alu_fraction < 0.7
+
+
+class TestControllerCheck:
+    def test_refuses_alu_rich_block_on_busy_pipeline(self):
+        cfg = aware_config(threshold=0.5)
+        controller = OffloadController(
+            cfg, None, dynamic_control=True, issue_monitors=[_FixedUtil(0.99)] * 4
+        )
+        decision = controller.decide(entry(alu_fraction=0.8), 0, None)
+        assert decision.reason is DecisionReason.STACK_COMPUTE_BUSY
+
+    def test_accepts_memory_block_on_busy_pipeline(self):
+        cfg = aware_config(threshold=0.5)
+        controller = OffloadController(
+            cfg, None, dynamic_control=True, issue_monitors=[_FixedUtil(0.99)] * 4
+        )
+        assert controller.decide(entry(alu_fraction=0.2), 0, None).offload
+
+    def test_accepts_alu_block_on_idle_pipeline(self):
+        cfg = aware_config(threshold=0.5)
+        controller = OffloadController(
+            cfg, None, dynamic_control=True, issue_monitors=[_FixedUtil(0.1)] * 4
+        )
+        assert controller.decide(entry(alu_fraction=0.8), 0, None).offload
+
+    def test_disabled_without_monitors(self):
+        cfg = aware_config()
+        controller = OffloadController(cfg, None, dynamic_control=True)
+        assert controller.decide(entry(alu_fraction=0.9), 0, None).offload
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            aware_config(threshold=1.5).validate()
+
+
+class TestEndToEnd:
+    def test_system_wires_issue_monitors(self):
+        from repro.core.system import NDPSystem
+
+        system = NDPSystem(aware_config(), NDP_CTRL_TMAP)
+        assert system.controller.issue_monitors is not None
+        assert len(system.controller.issue_monitors) == 4
+
+    def test_simulation_completes_with_extension(self):
+        runner = WorkloadRunner("RD", scale=TraceScale.TINY)
+        result = Simulator(runner.trace, aware_config(), NDP_CTRL_TMAP).run()
+        assert result.cycles > 0
+        assert result.warp_instructions == runner.trace.total_instructions

@@ -1,0 +1,117 @@
+"""Tests for the analysis layer: offsets, co-location, reporting."""
+
+import pytest
+
+from repro import TraceScale, build_trace, make_workload, ndp_config
+from repro.analysis import (
+    BUCKETS,
+    analyze_block_offsets,
+    bucket_distribution,
+    compare_to_paper,
+    format_bars,
+    format_table,
+    fraction_with_fixed_offset,
+    study_colocation,
+)
+from repro.errors import AnalysisError
+
+CFG = ndp_config()
+
+
+class TestOffsets:
+    def test_streaming_block_is_all_fixed(self, mini_trace):
+        profiles = analyze_block_offsets(mini_trace.tasks)
+        assert len(profiles) == 1
+        assert profiles[0].pair_fixed_fraction == pytest.approx(1.0)
+        assert profiles[0].bucket == BUCKETS[0]
+
+    def test_random_block_has_no_fixed_offsets(self, irregular_trace):
+        profiles = analyze_block_offsets(irregular_trace.tasks)
+        assert profiles[0].pair_fixed_fraction == 0.0
+        assert profiles[0].bucket == BUCKETS[5]
+        assert not profiles[0].has_fixed_offset
+
+    def test_bucket_distribution_sums_to_one(self, lib_trace):
+        profiles = analyze_block_offsets(lib_trace.tasks)
+        distribution = bucket_distribution(profiles)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert set(distribution) == set(BUCKETS)
+
+    def test_lib_blocks_all_fixed(self, lib_trace):
+        profiles = analyze_block_offsets(lib_trace.tasks)
+        assert len(profiles) == 2
+        assert all(p.bucket == BUCKETS[0] for p in profiles)
+        assert fraction_with_fixed_offset(profiles) == 1.0
+
+    def test_mixed_workload_in_middle_bucket(self):
+        trace = build_trace(make_workload("CFD"), CFG, TraceScale.TINY, 0)
+        profiles = analyze_block_offsets(trace.tasks)
+        assert 0.25 <= profiles[0].pair_fixed_fraction <= 0.75
+
+    def test_dominance_validation(self, mini_trace):
+        with pytest.raises(AnalysisError):
+            analyze_block_offsets(mini_trace.tasks, dominance=0.0)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(AnalysisError):
+            bucket_distribution([])
+        with pytest.raises(AnalysisError):
+            fraction_with_fixed_offset([])
+
+
+class TestColocationStudy:
+    def test_regular_workload_learns_well(self, mini_trace):
+        study = study_colocation(mini_trace, CFG)
+        assert study.baseline < 0.6
+        assert study.oracle > 0.8
+        # even the smallest learning fraction finds a good mapping
+        assert study.by_fraction[0.001] > 0.7
+
+    def test_oracle_at_least_as_good_as_small_fractions(self, mini_trace):
+        study = study_colocation(mini_trace, CFG)
+        assert study.oracle >= study.by_fraction[0.001] - 0.05
+
+    def test_series_labels(self, mini_trace):
+        study = study_colocation(mini_trace, CFG)
+        series = study.series()
+        assert "baseline mapping" in series
+        assert "first 0.1% NDP blocks" in series
+        assert "all NDP blocks" in series
+
+    def test_irregular_workload_does_not_colocate(self, irregular_trace):
+        study = study_colocation(irregular_trace, CFG)
+        assert study.oracle < 0.5
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            "T", ["a", "b"], {"row1": {"a": 1.0, "b": 2.0}, "row2": {"a": 3.0}}
+        )
+        assert "T" in text
+        assert "1.00" in text and "2.00" in text
+        assert "-" in text  # missing cell
+
+    def test_format_table_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table("T", ["a"], {})
+
+    def test_format_bars(self):
+        text = format_bars("B", {"x": 1.0, "y": 2.0})
+        assert text.count("#") > 0
+        lines = text.splitlines()
+        assert len(lines) == 4
+
+    def test_format_bars_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            format_bars("B", {})
+
+    def test_compare_to_paper(self):
+        text = compare_to_paper({"AVG": 1.25, "extra": 9.0}, {"AVG": 1.30})
+        assert "paper" in text and "measured" in text
+        assert "1.30" in text and "1.25" in text
+        assert "extra" not in text
+
+    def test_compare_requires_overlap(self):
+        with pytest.raises(AnalysisError):
+            compare_to_paper({"x": 1.0}, {"y": 2.0})

@@ -1,0 +1,145 @@
+"""Tests for the mini-assembly text parser."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Opcode, parse_kernel
+
+VALID = """
+# a complete kernel with every syntactic feature
+.kernel demo
+.param %ap
+.param %n
+    mov %i, 0
+loop:
+    ld.global<a> %x, [%ap + %i]
+    mad %y, %x, 2.0, 1.5
+    st.global<b> [%ap + %i + 4], %y
+    add %i, %i, 1
+    setp.lt %p, %i, %n       // trailing comment
+    @%p bra loop
+    exit
+"""
+
+
+class TestParseValid:
+    def test_structure(self):
+        kernel = parse_kernel(VALID)
+        assert kernel.name == "demo"
+        assert kernel.params == ("%ap", "%n")
+        assert "loop" in kernel.labels
+        assert kernel.instructions[-1].is_exit
+
+    def test_memory_operands(self):
+        kernel = parse_kernel(VALID)
+        load = kernel.access(0)
+        assert load.opcode is Opcode.LD_GLOBAL
+        assert load.array == "a"
+        assert load.srcs == ("%ap", "%i")
+        store = kernel.access(1)
+        assert store.array == "b"
+        assert store.srcs == ("%y", "%ap", "%i", 4)
+
+    def test_immediates(self):
+        kernel = parse_kernel(VALID)
+        mad = kernel.instructions[2]
+        assert mad.srcs == ("%x", 2.0, 1.5)
+
+    def test_predicate(self):
+        kernel = parse_kernel(VALID)
+        bra = kernel.instructions[-2]
+        assert bra.pred == "%p"
+        assert bra.target == "loop"
+
+    def test_suffix_ignored(self):
+        kernel = parse_kernel(VALID)
+        setp = kernel.instructions[5]
+        assert setp.opcode is Opcode.SETP
+
+    def test_hex_immediates(self):
+        kernel = parse_kernel(
+            ".kernel k\n    mov %a, 0x10\n    exit\n"
+        )
+        assert kernel.instructions[0].srcs == (16,)
+
+    def test_roundtrip_through_dump(self):
+        kernel = parse_kernel(VALID)
+        # dump() uses plain (non-annotated) syntax; re-parsing must keep
+        # the instruction count and access ids
+        reparsed = parse_kernel(
+            kernel.dump().replace(".param %ap\n.param %n\n", ".param %ap\n.param %n\n")
+        )
+        assert len(reparsed) == len(kernel)
+        assert reparsed.n_accesses == kernel.n_accesses
+
+
+class TestParseErrors:
+    def test_missing_kernel_directive(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel("    mov %a, 1\n    exit\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError) as err:
+            parse_kernel(".kernel k\n    frobnicate %a, %b\n    exit\n")
+        assert "frobnicate" in str(err.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            parse_kernel(".kernel k\n    mov %a, 1\n    bogus %x\n    exit\n")
+        assert err.value.line_number == 3
+
+    def test_unbalanced_bracket(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    ld.global %x, [%a + %i\n    exit\n")
+
+    def test_bra_operand_count(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    bra a, b\n    exit\n")
+
+    def test_exit_with_operands(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    exit %a\n")
+
+    def test_duplicate_kernel_directive(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel a\n.kernel b\n    exit\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\nx:\nx:\n    exit\n")
+
+    def test_bad_param(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n.param foo\n    exit\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    mov %a, 1..2\n    exit\n")
+
+    def test_load_operand_shape(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    ld.global %x\n    exit\n")
+
+    def test_store_operand_shape(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    st.global %x, %y\n    exit\n")
+
+    def test_predicate_without_instruction(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    @%p\n    exit\n")
+
+    def test_malformed_array_annotation(self):
+        with pytest.raises(AssemblyError):
+            parse_kernel(".kernel k\n    ld.global<a %x, [%p]\n    exit\n")
+
+
+class TestAtomics:
+    def test_atom_parses(self):
+        kernel = parse_kernel(
+            ".kernel k\n    atom.global<hist> %old, [%hp + %i], %one\n    exit\n"
+        )
+        atom = kernel.instructions[0]
+        assert atom.opcode is Opcode.ATOM_GLOBAL
+        assert atom.is_sync_or_atomic
+        assert atom.dsts == ("%old",)
+        assert "%one" in atom.reads

@@ -1,0 +1,73 @@
+"""Static checks over the benchmark harness itself: every bench module
+imports cleanly and every paper experiment has a bench covering it."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+
+
+def bench_files():
+    return sorted(
+        f for f in os.listdir(BENCH_DIR) if f.startswith("bench_") and f.endswith(".py")
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_on_path():
+    sys.path.insert(0, os.path.abspath(BENCH_DIR))
+    yield
+    sys.path.remove(os.path.abspath(BENCH_DIR))
+
+
+class TestHarnessCompleteness:
+    def test_every_paper_experiment_has_a_bench(self):
+        names = set(bench_files())
+        required = {
+            "bench_fig02_ideal_ndp.py",
+            "bench_fig03_ideal_mapping.py",
+            "bench_fig05_fixed_offset.py",
+            "bench_fig06_learning.py",
+            "bench_fig08_speedup.py",
+            "bench_fig09_traffic.py",
+            "bench_fig10_energy.py",
+            "bench_fig11_warp_capacity.py",
+            "bench_fig12_warp_traffic.py",
+            "bench_fig13_internal_bw.py",
+            "bench_sec65_cross_stack_bw.py",
+            "bench_sec66_area.py",
+            "bench_table1_config.py",
+        }
+        missing = required - names
+        assert not missing, f"missing benches for: {sorted(missing)}"
+
+    def test_ablation_benches_present(self):
+        names = set(bench_files())
+        assert "bench_ablation_compiler.py" in names
+        assert "bench_ablation_control.py" in names
+        assert "bench_ablation_alu_control.py" in names
+        assert "bench_ablation_translation.py" in names
+        assert "bench_ablation_input_sets.py" in names
+
+    @pytest.mark.parametrize("filename", bench_files())
+    def test_bench_module_imports(self, filename):
+        path = os.path.join(BENCH_DIR, filename)
+        spec = importlib.util.spec_from_file_location(filename[:-3], path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        test_functions = [n for n in dir(module) if n.startswith("test_")]
+        assert test_functions, f"{filename} defines no tests"
+
+    @pytest.mark.parametrize("filename", bench_files())
+    def test_bench_docstring_cites_the_paper(self, filename):
+        with open(os.path.join(BENCH_DIR, filename)) as handle:
+            source = handle.read()
+        assert '"""' in source
+        lowered = source.lower()
+        assert any(
+            marker in lowered
+            for marker in ("figure", "section", "table", "paper")
+        ), f"{filename} does not say which experiment it reproduces"

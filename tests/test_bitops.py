@@ -1,0 +1,157 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit_slice,
+    common_pow2_factor,
+    greatest_pow2_factor,
+    ilog2,
+    is_power_of_two,
+    set_bit_slice,
+    xor_fold,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 6, 12, 100, (1 << 10) + 1):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_exact(self):
+        assert ilog2(1) == 0
+        assert ilog2(128) == 7
+        assert ilog2(1 << 40) == 40
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 127])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigError):
+            ilog2(bad)
+
+
+class TestBitSlice:
+    def test_basic(self):
+        assert bit_slice(0b101100, 2, 3) == 0b011
+        assert bit_slice(0xFF00, 8, 8) == 0xFF
+        assert bit_slice(0, 5, 4) == 0
+
+    def test_numpy_array(self):
+        values = np.array([0b1100, 0b0100, 0b1000])
+        out = bit_slice(values, 2, 2)
+        assert list(out) == [0b11, 0b01, 0b10]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            bit_slice(5, -1, 2)
+        with pytest.raises(ConfigError):
+            bit_slice(5, 0, 0)
+
+    @given(st.integers(0, 2**48 - 1), st.integers(0, 40), st.integers(1, 8))
+    def test_slice_bounded(self, value, low, width):
+        assert 0 <= bit_slice(value, low, width) < (1 << width)
+
+    @given(st.integers(0, 2**48 - 1))
+    def test_slices_reassemble(self, value):
+        low = bit_slice(value, 0, 24)
+        high = bit_slice(value, 24, 24)
+        assert (high << 24) | low == value
+
+
+class TestSetBitSlice:
+    def test_roundtrip(self):
+        value = set_bit_slice(0, 4, 4, 0b1010)
+        assert bit_slice(value, 4, 4) == 0b1010
+
+    def test_overflow_field(self):
+        with pytest.raises(ConfigError):
+            set_bit_slice(0, 0, 2, 0b100)
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 20),
+        st.integers(1, 6),
+        st.data(),
+    )
+    def test_set_then_get(self, value, low, width, data):
+        field = data.draw(st.integers(0, (1 << width) - 1))
+        updated = set_bit_slice(value, low, width, field)
+        assert bit_slice(updated, low, width) == field
+        # bits outside the slice are untouched
+        mask = ((1 << width) - 1) << low
+        assert (updated & ~mask) == (value & ~mask)
+
+
+class TestXorFold:
+    def test_identity_single_fold(self):
+        assert xor_fold(0b1101, 0, 2, folds=1) == 0b01
+
+    def test_two_folds(self):
+        # bits [0:2) ^ bits [2:4)
+        assert xor_fold(0b1101, 0, 2, folds=2) == (0b01 ^ 0b11)
+
+    @given(st.integers(0, 2**40 - 1), st.integers(1, 4))
+    def test_fold_bounded(self, value, folds):
+        assert 0 <= xor_fold(value, 0, 2, folds=folds) < 4
+
+
+class TestAlign:
+    def test_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+
+    def test_up(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            align_up(10, 3)
+        with pytest.raises(ConfigError):
+            align_down(10, 100)
+
+    @given(st.integers(0, 2**40), st.integers(0, 20))
+    def test_align_properties(self, value, exponent):
+        alignment = 1 << exponent
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestPow2Factors:
+    def test_greatest(self):
+        assert greatest_pow2_factor(12) == 4
+        assert greatest_pow2_factor(1) == 1
+        assert greatest_pow2_factor(1 << 16) == 1 << 16
+
+    def test_greatest_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            greatest_pow2_factor(0)
+
+    def test_common(self):
+        assert common_pow2_factor([8, 12, 20]) == 4
+        assert common_pow2_factor([0, 16]) == 16
+        assert common_pow2_factor([]) == 0
+        assert common_pow2_factor([0, 0]) == 0
+
+    @given(st.lists(st.integers(-(2**20), 2**20), max_size=8))
+    def test_common_divides_all(self, values):
+        factor = common_pow2_factor(values)
+        if factor:
+            for value in values:
+                if value:
+                    assert value % factor == 0

@@ -1,0 +1,121 @@
+"""Tests for the write-through caches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.cache import Cache
+
+
+def small_cache(ways=2, sets=4):
+    return Cache(size_bytes=ways * sets * 128, ways=ways, line_bytes=128, name="t")
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.load(10)
+        assert cache.load(10)
+        assert cache.stats.load_misses == 1
+        assert cache.stats.load_hits == 1
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.load(0)
+        cache.load(1)
+        cache.load(2)  # evicts 0
+        assert not cache.contains(0)
+        assert cache.contains(1) and cache.contains(2)
+
+    def test_lru_updated_on_hit(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.load(0)
+        cache.load(1)
+        cache.load(0)  # 1 becomes LRU
+        cache.load(2)  # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_sets_are_independent(self):
+        cache = small_cache(ways=1, sets=4)
+        for line in range(4):
+            cache.load(line)
+        assert all(cache.contains(line) for line in range(4))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            Cache(size_bytes=1000, ways=3, line_bytes=128)
+
+
+class TestWriteThrough:
+    def test_store_does_not_allocate(self):
+        cache = small_cache()
+        assert not cache.store(5)
+        assert not cache.contains(5)
+        assert cache.stats.store_misses == 1
+
+    def test_store_hits_present_line(self):
+        cache = small_cache()
+        cache.load(5)
+        assert cache.store(5)
+        assert cache.stats.store_hits == 1
+
+    def test_dirty_collection(self):
+        cache = small_cache()
+        cache.store(1)
+        cache.store(2)
+        cache.store(1)
+        dirty = cache.collect_dirty()
+        assert dirty == {1, 2}
+        assert cache.collect_dirty() == set()
+
+
+class TestInvalidation:
+    def test_invalidate_line(self):
+        cache = small_cache()
+        cache.load(3)
+        assert cache.invalidate(3)
+        assert not cache.contains(3)
+        assert not cache.invalidate(3)
+
+    def test_invalidate_all(self):
+        cache = small_cache()
+        for line in range(6):
+            cache.load(line)
+        count = cache.invalidate_all()
+        assert count == cache.stats.invalidations
+        assert cache.occupancy == 0
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.load(1)
+        cache.load(1)
+        cache.load(2)
+        assert cache.stats.load_miss_rate == pytest.approx(2 / 3)
+
+    def test_miss_rate_empty(self):
+        assert small_cache().stats.load_miss_rate == 0.0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1000), max_size=200))
+    def test_occupancy_bounded(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            cache.load(line)
+        assert cache.occupancy <= 8
+
+    @given(st.lists(st.integers(0, 50), max_size=100))
+    def test_hits_plus_misses_equals_loads(self, lines):
+        cache = small_cache()
+        for line in lines:
+            cache.load(line)
+        assert cache.stats.loads == len(lines)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    def test_immediate_reload_always_hits(self, lines):
+        cache = small_cache(ways=4, sets=8)
+        for line in lines:
+            cache.load(line)
+            assert cache.load(line)

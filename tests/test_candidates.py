@@ -1,0 +1,240 @@
+"""Tests for offload-candidate selection (Section 3.1) and the
+offloading metadata table (Section 4.2)."""
+
+import pytest
+
+from repro.compiler import (
+    ENTRY_BITS,
+    TABLE_ENTRIES,
+    OffloadMetadataTable,
+    TripKind,
+    select_candidates,
+)
+from repro.errors import CompilerError
+from repro.isa import KernelBuilder, parse_kernel
+
+LIB_KERNEL = """
+.kernel portfolio_b
+.param %Lp
+.param %Lbp
+.param %Nmat
+.param %N
+.param %delta
+.param %v
+.param %b
+    mov %n, 0
+loop1:
+    ld.global<L> %f1, [%Lp + %n]
+    mad %f2, %delta, %f1, 1.0
+    mul %f4, %v, %delta
+    div %f3, %f4, %f2
+    st.global<L_b> [%Lbp + %n], %f3
+    add %n, %n, 1
+    setp.lt %p1, %n, %Nmat
+    @%p1 bra loop1
+    mov %m, %Nmat
+loop2:
+    ld.global<L_b> %g1, [%Lbp + %m]
+    mul %g2, %b, %g1
+    st.global<L_b> [%Lbp + %m], %g2
+    add %m, %m, 1
+    setp.lt %p2, %m, %N
+    @%p2 bra loop2
+    exit
+"""
+
+
+class TestLibExample:
+    """Both Figure 4 loops must be found as conditional candidates."""
+
+    def test_two_conditional_loop_candidates(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        loops = [c for c in selection.candidates if c.is_loop]
+        assert len(loops) == 2
+        assert all(c.is_conditional for c in loops)
+
+    def test_loop1_break_even_threshold(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        loop1 = selection.candidates[0]
+        assert loop1.condition is not None
+        assert loop1.condition.register == "%Nmat"
+        # 5 transmitted live-ins (Figure 4): ceil(160 / 49.75) = 4
+        assert loop1.condition.min_iterations == 4
+
+    def test_loop1_matches_figure4_live_ins(self):
+        """Figure 4 marks five input values; %n enters as the constant 0
+        and ships in the metadata, not the request packet."""
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        loop1 = selection.candidates[0]
+        assert loop1.n_live_in == 5
+        assert loop1.const_live_in == ("%n",)
+        assert set(loop1.reg_tx) == {"%Lp", "%Lbp", "%Nmat", "%delta", "%v"}
+
+    def test_loop_bodies_have_one_load_one_store(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        for candidate in selection.candidates:
+            assert candidate.n_loads == 1
+            assert candidate.n_stores == 1
+
+    def test_no_live_outs(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        for candidate in selection.candidates:
+            assert candidate.n_live_out == 0
+
+    def test_trip_kinds_runtime(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        for candidate in selection.candidates:
+            assert candidate.trip is not None
+            assert candidate.trip.kind is TripKind.RUNTIME
+
+    def test_channel_tags(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        loop1 = selection.candidates[0]
+        # store-heavy loop: saves RX, adds TX at the break-even point
+        assert loop1.saves_rx
+        assert not loop1.saves_tx
+
+    def test_block_ids_are_dense_and_ordered(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        assert [c.block_id for c in selection.candidates] == [0, 1]
+        assert selection.candidates[0].start < selection.candidates[1].start
+
+    def test_describe_mentions_conditional(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        assert "conditional" in selection.candidates[0].describe()
+
+
+class TestLimitations:
+    """Section 3.1.4 disqualifiers."""
+
+    def _loop(self, body_extra):
+        return parse_kernel(
+            f"""
+.kernel k
+.param %ap
+.param %n
+    mov %i, 0
+loop:
+    ld.global %x, [%ap + %i]
+{body_extra}
+    st.global [%ap + %i], %x
+    add %i, %i, 1
+    setp.lt %p, %i, %n
+    @%p bra loop
+    exit
+"""
+        )
+
+    def test_shared_memory_disqualifies(self):
+        selection = select_candidates(self._loop("    st.shared [%i], %x"))
+        assert not selection.candidates
+        assert any("shared memory" in reason for reason in selection.rejected)
+
+    def test_barrier_disqualifies(self):
+        selection = select_candidates(self._loop("    bar.sync"))
+        assert not selection.candidates
+        assert any("synchronization" in r for r in selection.rejected)
+
+    def test_atomic_disqualifies(self):
+        selection = select_candidates(self._loop("    atom.global %o, [%ap], %x"))
+        assert not selection.candidates
+
+    def test_escaping_branch_disqualifies(self):
+        kernel = parse_kernel(
+            """
+.kernel esc
+.param %ap
+.param %n
+    mov %i, 0
+loop:
+    ld.global %x, [%ap + %i]
+    setp.lt %q, %x, 0
+    @%q bra bail
+    st.global [%ap + %i], %x
+    add %i, %i, 1
+    setp.lt %p, %i, %n
+    @%p bra loop
+bail:
+    exit
+"""
+        )
+        selection = select_candidates(kernel)
+        assert all(not c.is_loop for c in selection.candidates)
+        assert any("escapes" in r for r in selection.rejected)
+
+    def test_clean_loop_is_accepted(self):
+        selection = select_candidates(self._loop("    add %x, %x, 1"))
+        assert any(c.is_loop for c in selection.candidates)
+
+
+class TestStraightLine:
+    def test_memory_dense_block_accepted(self):
+        b = KernelBuilder("dense", params=["%ap"])
+        for i in range(6):
+            b.ld_global(f"%x{i}", addr=["%ap", i], array="a")
+        b.add("%s", "%x0", "%x1")
+        b.st_global(addr=["%ap"], value="%s", array="a")
+        b.exit()
+        selection = select_candidates(b.build())
+        assert len(selection.candidates) == 1
+        candidate = selection.candidates[0]
+        assert not candidate.is_loop
+        assert candidate.n_loads == 6
+        assert candidate.estimate.is_beneficial
+
+    def test_register_heavy_block_rejected(self):
+        b = KernelBuilder("heavy", params=[f"%p{i}" for i in range(12)])
+        b.ld_global("%x", addr=["%p0"], array="a")
+        acc = "%x"
+        for i in range(11):
+            b.add(f"%a{i}", acc, f"%p{i + 1}")
+            acc = f"%a{i}"
+        b.st_global(addr=["%p0"], value=acc, array="a")
+        b.exit()
+        selection = select_candidates(b.build())
+        # 12 live-in registers vs 1 load + 1 store: never worth it
+        assert not selection.candidates
+
+    def test_no_memory_no_candidate(self):
+        b = KernelBuilder("alu")
+        b.mov("%a", 1)
+        b.add("%b", "%a", 2)
+        b.st_global(addr=["%b"], value="%b", array="o")
+        b.exit()
+        selection = select_candidates(b.build())
+        # the store-bearing region is considered, pure-ALU ones are not
+        assert all("no global memory" not in c.describe() for c in selection.candidates)
+
+
+class TestMetadataTable:
+    def test_entry_bits_match_paper(self):
+        assert ENTRY_BITS == 258
+        assert TABLE_ENTRIES == 40
+
+    def test_lookup(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        table = OffloadMetadataTable(selection)
+        assert len(table) == 2
+        entry = table.lookup(0)
+        assert entry.begin_pc == selection.candidates[0].start
+        assert entry.condition is not None
+        assert entry.tag & 0b10  # saves RX bit
+
+    def test_lookup_by_pc(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        table = OffloadMetadataTable(selection)
+        entry = table.lookup_by_pc(selection.candidates[1].start)
+        assert entry is not None and entry.block_id == 1
+        assert table.lookup_by_pc(999) is None
+
+    def test_missing_block_raises(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        table = OffloadMetadataTable(selection)
+        with pytest.raises(CompilerError):
+            table.lookup(7)
+
+    def test_storage_accounting(self):
+        selection = select_candidates(parse_kernel(LIB_KERNEL))
+        table = OffloadMetadataTable(selection)
+        assert table.storage_bits == 40 * 258 == 10320
+        assert table.used_bits == 2 * 258

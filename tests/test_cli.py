@@ -1,0 +1,70 @@
+"""Tests for the repro-tom command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_baseline(self, capsys):
+        assert main(["run", "SP", "--policy", "baseline", "--scale", "TINY"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "ipc" in out
+
+    def test_run_tom(self, capsys):
+        assert main(["run", "SP", "--policy", "ctrl+tmap", "--scale", "TINY"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over baseline" in out
+        assert "offload decisions" in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "NOPE"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "SP", "--policy", "bogus"])
+
+
+class TestSuite:
+    def test_partial_suite(self, capsys):
+        assert main(["suite", "--scale", "TINY", "--workloads", "SP", "RD"]) == 0
+        out = capsys.readouterr().out
+        assert "SP:" in out and "RD:" in out
+        assert "ctrl+tmap" in out
+
+
+class TestFigure:
+    def test_sec66(self, capsys):
+        assert main(["figure", "sec66"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 6.6" in out and "0.11" in out
+
+    def test_fig5_tiny(self, capsys, monkeypatch):
+        assert main(["figure", "fig5", "--scale", "TINY"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestInspect:
+    def test_inspect_lib(self, capsys):
+        assert main(["inspect", "LIB"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel portfolio_b" in out
+        assert "offloading candidates (2):" in out
+        assert "conditional" in out
+
+    @pytest.mark.parametrize("workload", ["BP", "BFS", "RD"])
+    def test_inspect_others(self, capsys, workload):
+        assert main(["inspect", workload]) == 0
+        assert "offloading candidates" in capsys.readouterr().out
+
+
+class TestNoCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,240 @@
+"""Tests for CFG construction, dominators, loops, and liveness."""
+
+import pytest
+
+from repro.compiler import (
+    Cfg,
+    TripKind,
+    analyze_trip_count,
+    compute_liveness,
+    find_loops,
+    loop_live_registers,
+    region_live_registers,
+)
+from repro.isa import KernelBuilder, parse_kernel
+
+
+def simple_loop_kernel():
+    return parse_kernel(
+        """
+.kernel k
+.param %n
+.param %ap
+    mov %i, 0
+loop:
+    ld.global %x, [%ap + %i]
+    add %acc, %acc, %x
+    add %i, %i, 1
+    setp.lt %p, %i, %n
+    @%p bra loop
+    st.global [%ap], %acc
+    exit
+"""
+    )
+
+
+def diamond_kernel():
+    return parse_kernel(
+        """
+.kernel d
+.param %c
+    setp.lt %p, %c, 0
+    @%p bra neg
+    mov %r, 1
+    bra join
+neg:
+    mov %r, 2
+join:
+    st.global [%r], %r
+    exit
+"""
+    )
+
+
+class TestCfg:
+    def test_loop_blocks(self):
+        cfg = Cfg(simple_loop_kernel())
+        # prologue, loop body, epilogue
+        assert len(cfg.blocks) == 3
+        loop_block = cfg.block_of(1)
+        assert loop_block.successors == sorted(
+            set([loop_block.index, loop_block.index + 1])
+        ) or set(loop_block.successors) == {loop_block.index, loop_block.index + 1}
+
+    def test_diamond_edges(self):
+        cfg = Cfg(diamond_kernel())
+        entry = cfg.entry
+        assert len(entry.successors) == 2
+        join = cfg.block_of(diamond_kernel().label_index("join"))
+        assert len(join.predecessors) == 2
+
+    def test_dominators(self):
+        cfg = Cfg(diamond_kernel())
+        join = cfg.block_of(diamond_kernel().label_index("join")).index
+        assert cfg.dominates(0, join)
+        # neither branch arm dominates the join
+        arms = [b.index for b in cfg.blocks if b.index not in (0, join)]
+        for arm in arms:
+            assert not cfg.dominates(arm, join)
+
+    def test_entry_dominates_everything(self):
+        cfg = Cfg(simple_loop_kernel())
+        for block in cfg.blocks:
+            if block.index in cfg.reachable_blocks():
+                assert cfg.dominates(0, block.index)
+
+    def test_block_of_out_of_range(self):
+        cfg = Cfg(simple_loop_kernel())
+        from repro.errors import CompilerError
+
+        with pytest.raises(CompilerError):
+            cfg.block_of(999)
+
+
+class TestLoops:
+    def test_finds_single_loop(self):
+        kernel = simple_loop_kernel()
+        loops = find_loops(Cfg(kernel))
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.contiguous
+        assert loop.start == kernel.label_index("loop")
+
+    def test_no_loops_in_diamond(self):
+        assert find_loops(Cfg(diamond_kernel())) == []
+
+    def test_nested_loops_sorted_outermost_first(self):
+        kernel = parse_kernel(
+            """
+.kernel nest
+.param %n
+.param %m
+    mov %i, 0
+outer:
+    mov %j, 0
+inner:
+    ld.global %x, [%j]
+    add %j, %j, 1
+    setp.lt %q, %j, %m
+    @%q bra inner
+    add %i, %i, 1
+    setp.lt %p, %i, %n
+    @%p bra outer
+    exit
+"""
+        )
+        loops = find_loops(Cfg(kernel))
+        assert len(loops) == 2
+        assert len(loops[0].blocks) > len(loops[1].blocks)
+        assert loops[1].blocks < loops[0].blocks
+
+
+class TestTripCount:
+    def test_runtime_bound(self):
+        kernel = simple_loop_kernel()
+        cfg = Cfg(kernel)
+        loop = find_loops(cfg)[0]
+        trip = analyze_trip_count(kernel, cfg, loop)
+        assert trip.kind is TripKind.RUNTIME
+        assert trip.bound_register == "%n"
+        assert trip.induction_register == "%i"
+        assert trip.step == 1
+        assert trip.assumed_iterations() == 1
+
+    def test_static_bound(self):
+        kernel = parse_kernel(
+            """
+.kernel s
+.param %ap
+    mov %i, 0
+loop:
+    ld.global %x, [%ap + %i]
+    add %i, %i, 2
+    setp.lt %p, %i, 10
+    @%p bra loop
+    exit
+"""
+        )
+        cfg = Cfg(kernel)
+        trip = analyze_trip_count(kernel, cfg, find_loops(cfg)[0])
+        assert trip.kind is TripKind.STATIC
+        assert trip.static_count == 5
+        assert trip.assumed_iterations() == 5
+
+    def test_unknown_when_bound_written_inside(self):
+        kernel = parse_kernel(
+            """
+.kernel u
+.param %ap
+    mov %i, 0
+loop:
+    ld.global %lim, [%ap + %i]
+    add %i, %i, 1
+    setp.lt %p, %i, %lim
+    @%p bra loop
+    exit
+"""
+        )
+        cfg = Cfg(kernel)
+        trip = analyze_trip_count(kernel, cfg, find_loops(cfg)[0])
+        assert trip.kind is TripKind.UNKNOWN
+        assert trip.assumed_iterations() == 1
+
+
+class TestLiveness:
+    def test_region_live_in_out(self):
+        kernel = simple_loop_kernel()
+        cfg = Cfg(kernel)
+        liveness = compute_liveness(cfg)
+        loop = find_loops(cfg)[0]
+        reg_tx, reg_rx = loop_live_registers(
+            cfg, liveness, loop.blocks, loop.start, loop.end
+        )
+        # loop reads %ap, %i, %n, %acc from outside
+        assert set(reg_tx) >= {"%ap", "%i", "%n"}
+        # %acc is stored after the loop -> live-out; %i and %p die
+        assert "%acc" in reg_rx
+        assert "%i" not in reg_rx
+        assert "%p" not in reg_rx
+
+    def test_straight_line_region(self):
+        kernel = parse_kernel(
+            """
+.kernel sl
+.param %ap
+.param %k
+    ld.global %x, [%ap]
+    add %y, %x, %k
+    st.global [%ap], %y
+    mul %z, %y, 2
+    st.global [%ap + 4], %z
+    exit
+"""
+        )
+        cfg = Cfg(kernel)
+        liveness = compute_liveness(cfg)
+        reg_tx, reg_rx = region_live_registers(kernel, liveness, 0, 3)
+        assert set(reg_tx) == {"%ap", "%k"}
+        assert set(reg_rx) == {"%y"}  # %x dies inside, %y used later
+
+    def test_params_live_at_entry(self):
+        kernel = simple_loop_kernel()
+        liveness = compute_liveness(Cfg(kernel))
+        assert "%n" in liveness.live_before[0]
+        assert "%ap" in liveness.live_before[0]
+
+    def test_dead_register_not_live(self):
+        kernel = parse_kernel(
+            ".kernel d\n    mov %dead, 5\n    mov %live, 6\n"
+            "    st.global [%live], %live\n    exit\n"
+        )
+        liveness = compute_liveness(Cfg(kernel))
+        assert "%dead" not in liveness.live_after[0]
+
+    def test_region_bounds_checked(self):
+        kernel = simple_loop_kernel()
+        liveness = compute_liveness(Cfg(kernel))
+        from repro.errors import CompilerError
+
+        with pytest.raises(CompilerError):
+            region_live_registers(kernel, liveness, 5, 2)

@@ -1,0 +1,135 @@
+"""Tests for the Table 1 configuration layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CompilerConfig,
+    ControlConfig,
+    GpuConfig,
+    LinkConfig,
+    MappingConfig,
+    MessageConfig,
+    StackConfig,
+    SystemConfig,
+    baseline_config,
+    ndp_config,
+)
+from repro.errors import ConfigError
+
+
+class TestPresets:
+    def test_baseline_matches_table1(self):
+        cfg = baseline_config()
+        assert cfg.gpu.n_sms == 68
+        assert not cfg.ndp_enabled
+        assert cfg.gpu.warps_per_sm == 48
+        assert cfg.gpu.warp_size == 32
+
+    def test_ndp_matches_table1(self):
+        cfg = ndp_config()
+        assert cfg.gpu.n_sms == 64
+        assert cfg.ndp_enabled
+        assert cfg.stacks.n_stacks == 4
+        assert cfg.stacks.vaults_per_stack == 16
+        assert cfg.stacks.banks_per_vault == 16
+        assert cfg.links.gpu_stack_gbps == 80.0
+        assert cfg.links.cross_stack_gbps == 40.0
+        assert cfg.stacks.internal_bandwidth_gbps == 160.0
+
+    def test_same_total_sms(self):
+        # Fair comparison: 68 baseline SMs == 64 + 4 stack SMs.
+        base = baseline_config()
+        ndp = ndp_config()
+        assert base.gpu.n_sms == ndp.gpu.n_sms + ndp.stacks.n_stacks
+
+    def test_internal_bandwidth_ratio(self):
+        cfg = ndp_config(internal_bandwidth_ratio=1.0)
+        assert cfg.stacks.internal_bandwidth_gbps == 80.0
+
+    def test_cross_stack_ratio(self):
+        cfg = ndp_config(cross_stack_ratio=0.25)
+        assert cfg.links.cross_stack_gbps == 20.0
+
+    def test_warp_capacity_multiplier(self):
+        cfg = ndp_config(warp_capacity_multiplier=4)
+        assert cfg.stack_warp_slots == 4 * 48
+
+
+class TestDerived:
+    def test_bytes_per_cycle(self):
+        cfg = ndp_config()
+        assert cfg.bytes_per_cycle(140.0) == pytest.approx(100.0)
+
+    def test_cycle_seconds(self):
+        cfg = ndp_config()
+        assert cfg.cycle_seconds == pytest.approx(1e-9 / 1.4)
+
+    def test_sc_ratio(self):
+        assert MessageConfig().sc_ratio == 32
+
+    def test_vault_bandwidth(self):
+        cfg = ndp_config()
+        assert cfg.vault_bandwidth_gbps == pytest.approx(10.0)
+
+    def test_stack_bits(self):
+        assert StackConfig().stack_bits == 2
+        assert StackConfig().vault_bits == 4
+
+    def test_total_warp_slots(self):
+        assert baseline_config().total_warp_slots_main == 68 * 48
+
+
+class TestValidation:
+    def test_bad_stack_count(self):
+        with pytest.raises(ConfigError):
+            StackConfig(n_stacks=3).validate()
+
+    def test_bad_warp_multiplier(self):
+        with pytest.raises(ConfigError):
+            StackConfig(warp_capacity_multiplier=0).validate()
+
+    def test_bad_miss_rate(self):
+        with pytest.raises(ConfigError):
+            CompilerConfig(assumed_load_miss_rate=1.5).validate()
+
+    def test_bad_coalescing(self):
+        with pytest.raises(ConfigError):
+            CompilerConfig(assumed_load_coalescing=0.5).validate()
+
+    def test_bad_busy_threshold(self):
+        with pytest.raises(ConfigError):
+            ControlConfig(channel_busy_threshold=0.0).validate()
+
+    def test_bad_learn_fraction(self):
+        with pytest.raises(ConfigError):
+            ControlConfig(learn_fraction=1.0).validate()
+
+    def test_bad_link_bandwidth(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(gpu_stack_gbps=0.0).validate()
+
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigError):
+            MessageConfig(cache_line_bytes=96).validate()
+
+    def test_bad_page_size(self):
+        with pytest.raises(ConfigError):
+            MappingConfig(page_bytes=1000).validate()
+
+    def test_mapping_sweep_respects_line_offset(self):
+        cfg = dataclasses.replace(
+            ndp_config(), mapping=MappingConfig(sweep_low_bit=4)
+        )
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_zero_sms(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(n_sms=0).validate()
+
+    def test_replace_is_functional(self):
+        cfg = ndp_config()
+        updated = cfg.replace(ndp_enabled=False)
+        assert cfg.ndp_enabled and not updated.ndp_enabled

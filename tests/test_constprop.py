@@ -1,0 +1,118 @@
+"""Tests for the constant-at-entry live-in analysis."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import Cfg, select_candidates
+from repro.compiler.constprop import constant_entry_registers
+from repro.config import CompilerConfig
+from repro.isa import parse_kernel
+
+LOOP = """
+.kernel k
+.param %ap
+.param %n
+    mov %i, 0
+    mov %scale, 2.5
+loop:
+    ld.global %x, [%ap + %i]
+    mul %y, %x, %scale
+    st.global [%ap + %i], %y
+    add %i, %i, 1
+    setp.lt %p, %i, %n
+    @%p bra loop
+    exit
+"""
+
+
+def region_of(kernel):
+    cfg = Cfg(kernel)
+    start = kernel.label_index("loop")
+    end = len(kernel) - 1  # everything up to exit
+    return cfg, start, end
+
+
+class TestConstantEntry:
+    def test_induction_init_is_constant(self):
+        kernel = parse_kernel(LOOP)
+        cfg, start, end = region_of(kernel)
+        constants = constant_entry_registers(
+            kernel, cfg, start, end, ["%i", "%scale", "%ap", "%n"]
+        )
+        assert constants["%i"] == 0
+        assert constants["%scale"] == 2.5
+        # params have no defining mov: not constants
+        assert "%ap" not in constants
+        assert "%n" not in constants
+
+    def test_mov_from_register_is_not_constant(self):
+        kernel = parse_kernel(
+            """
+.kernel k
+.param %ap
+.param %base
+    mov %i, %base
+loop:
+    ld.global %x, [%ap + %i]
+    add %i, %i, 1
+    setp.lt %p, %i, 100
+    @%p bra loop
+    exit
+"""
+        )
+        cfg = Cfg(kernel)
+        start = kernel.label_index("loop")
+        constants = constant_entry_registers(kernel, cfg, start, len(kernel) - 1, ["%i"])
+        assert constants == {}
+
+    def test_redefinition_outside_disqualifies(self):
+        kernel = parse_kernel(
+            """
+.kernel k
+.param %ap
+    mov %i, 0
+    add %i, %i, 4
+loop:
+    ld.global %x, [%ap + %i]
+    add %i, %i, 1
+    setp.lt %p, %i, 100
+    @%p bra loop
+    exit
+"""
+        )
+        cfg = Cfg(kernel)
+        start = kernel.label_index("loop")
+        constants = constant_entry_registers(kernel, cfg, start, len(kernel) - 1, ["%i"])
+        # two outside definitions -> conservatively not constant
+        assert constants == {}
+
+    def test_inside_redefinitions_are_fine(self):
+        # the loop's own add does not disqualify the entry constant
+        kernel = parse_kernel(LOOP)
+        cfg, start, end = region_of(kernel)
+        constants = constant_entry_registers(kernel, cfg, start, end, ["%i"])
+        assert constants == {"%i": 0}
+
+
+class TestSelectionIntegration:
+    def test_constants_excluded_from_transmission(self):
+        selection = select_candidates(parse_kernel(LOOP))
+        candidate = selection.candidates[0]
+        assert "%i" not in candidate.reg_tx
+        assert "%i" in candidate.const_live_in
+        assert "%scale" in candidate.const_live_in
+
+    def test_disabled_by_config(self):
+        config = CompilerConfig(constant_propagation=False)
+        selection = select_candidates(parse_kernel(LOOP), config)
+        candidate = selection.candidates[0]
+        assert "%i" in candidate.reg_tx
+        assert candidate.const_live_in == ()
+
+    def test_constprop_lowers_transmission_cost(self):
+        with_cp = select_candidates(parse_kernel(LOOP)).candidates[0]
+        without_cp = select_candidates(
+            parse_kernel(LOOP), CompilerConfig(constant_propagation=False)
+        ).candidates[0]
+        assert with_cp.n_live_in < without_cp.n_live_in

@@ -1,0 +1,137 @@
+"""Tests for the Section 3.1 bandwidth cost model, pinned to the
+paper's published worked example (Section 3.1.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.cost_model import (
+    min_beneficial_iterations,
+    per_iteration_saving,
+    thread_estimate,
+    warp_estimate,
+)
+from repro.errors import CompilerError
+
+
+class TestPaperExample:
+    """LIBOR loop, Figure 4: 5 live-in registers, no live-outs, one load
+    and one store per iteration, 50% assumed miss rate, perfect
+    coalescing."""
+
+    def test_single_iteration_is_not_beneficial(self):
+        estimate = warp_estimate(reg_tx=5, reg_rx=0, n_loads=1, n_stores=1)
+        assert estimate.total == pytest.approx(110.25)
+        assert not estimate.is_beneficial
+
+    def test_four_iterations_save_bandwidth(self):
+        estimate = warp_estimate(
+            reg_tx=5, reg_rx=0, n_loads=1, n_stores=1, iterations=4
+        )
+        assert estimate.total == pytest.approx(-39.0)
+        assert estimate.is_beneficial
+
+    def test_break_even_is_four_iterations(self):
+        assert min_beneficial_iterations(5, 0, 1, 1) == 4
+
+    def test_component_channels(self):
+        estimate = warp_estimate(reg_tx=5, reg_rx=0, n_loads=1, n_stores=1)
+        assert estimate.bw_tx == pytest.approx(5 * 32 - (0.5 + 33))
+        assert estimate.bw_rx == pytest.approx(-(16 + 0.25))
+        # the 2-bit tag: adds TX traffic, saves RX traffic
+        assert not estimate.saves_tx
+        assert estimate.saves_rx
+
+
+class TestThreadEstimate:
+    def test_equations_1_and_2(self):
+        estimate = thread_estimate(reg_tx=3, reg_rx=1, n_loads=2, n_stores=1)
+        assert estimate.bw_tx == 3 - (2 + 2 * 1)
+        assert estimate.bw_rx == 1 - (2 + 0.25)
+
+    def test_pure_load_block_saves(self):
+        estimate = thread_estimate(reg_tx=0, reg_rx=0, n_loads=4, n_stores=0)
+        assert estimate.is_beneficial
+        assert estimate.saves_tx and estimate.saves_rx
+
+    def test_register_only_block_costs(self):
+        estimate = thread_estimate(reg_tx=8, reg_rx=8, n_loads=1, n_stores=0)
+        assert not estimate.is_beneficial
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CompilerError):
+            thread_estimate(-1, 0, 1, 0)
+
+
+class TestWarpEstimate:
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(CompilerError):
+            warp_estimate(1, 0, 1, 0, iterations=0)
+
+    def test_miss_rate_scales_load_benefit(self):
+        low = warp_estimate(5, 0, 2, 0, miss_ld=0.1)
+        high = warp_estimate(5, 0, 2, 0, miss_ld=0.9)
+        assert high.total < low.total
+
+    def test_coalescing_scales_load_benefit(self):
+        tight = warp_estimate(5, 0, 2, 0, coal_ld=1.0)
+        scattered = warp_estimate(5, 0, 2, 0, coal_ld=8.0)
+        assert scattered.total < tight.total
+
+    @given(
+        st.integers(0, 16),
+        st.integers(0, 16),
+        st.integers(0, 8),
+        st.integers(0, 8),
+        st.integers(1, 64),
+    )
+    def test_more_iterations_never_hurt(self, reg_tx, reg_rx, loads, stores, iters):
+        one = warp_estimate(reg_tx, reg_rx, loads, stores, iterations=1)
+        many = warp_estimate(reg_tx, reg_rx, loads, stores, iterations=iters)
+        assert many.total <= one.total + 1e-9
+
+    @given(st.integers(0, 16), st.integers(0, 16))
+    def test_memoryless_block_never_beneficial(self, reg_tx, reg_rx):
+        estimate = warp_estimate(reg_tx, reg_rx, 0, 0, iterations=10)
+        assert not estimate.is_beneficial
+
+    @given(
+        st.integers(0, 10),
+        st.integers(0, 10),
+        st.integers(0, 6),
+        st.integers(0, 6),
+    )
+    def test_total_is_sum_of_channels(self, reg_tx, reg_rx, loads, stores):
+        estimate = warp_estimate(reg_tx, reg_rx, loads, stores)
+        assert estimate.total == pytest.approx(estimate.bw_tx + estimate.bw_rx)
+
+
+class TestBreakEven:
+    def test_memoryless_never(self):
+        assert min_beneficial_iterations(4, 0, 0, 0) > 1_000_000
+
+    def test_zero_cost_immediately(self):
+        assert min_beneficial_iterations(0, 0, 1, 0) == 1
+
+    @given(
+        st.integers(0, 12),
+        st.integers(0, 12),
+        st.integers(0, 6),
+        st.integers(0, 6),
+    )
+    def test_threshold_is_exact_boundary(self, reg_tx, reg_rx, loads, stores):
+        threshold = min_beneficial_iterations(reg_tx, reg_rx, loads, stores)
+        if threshold > 1_000_000:
+            return  # never beneficial
+        at = warp_estimate(reg_tx, reg_rx, loads, stores, iterations=threshold)
+        assert at.is_beneficial
+        if threshold > 1:
+            below = warp_estimate(
+                reg_tx, reg_rx, loads, stores, iterations=threshold - 1
+            )
+            assert not below.is_beneficial
+
+    def test_saving_positive_iff_memory(self):
+        assert per_iteration_saving(0, 0) == 0.0
+        assert per_iteration_saving(1, 0) > 0
+        assert per_iteration_saving(0, 1) > 0

@@ -1,0 +1,153 @@
+"""Edge cases: kernels without candidates, partition corners, and the
+suite's paper-reference data."""
+
+import pytest
+
+from repro import (
+    BASELINE,
+    NDP_CTRL_BMAP,
+    NDP_CTRL_TMAP,
+    TraceScale,
+    baseline_config,
+    build_trace,
+    ndp_config,
+)
+from repro.core.simulator import Simulator
+from repro.gpu.warp import PlainSegment
+from repro.isa import KernelBuilder
+from repro.trace.generator import TraceModel, _partition
+from repro.trace.patterns import LinearPattern
+from repro.workloads.suite import PAPER, SUITE_ORDER
+
+MB = 1 << 20
+
+
+class NoCandidateWorkload(TraceModel):
+    """A kernel whose only loop is disqualified (shared memory): the
+    compiler finds nothing to offload."""
+
+    name = "NOCAND"
+
+    def build_kernel(self):
+        b = KernelBuilder("no_cand", params=["%ap", "%n"])
+        b.mov("%i", 0)
+        b.label("loop")
+        b.ld_global("%x", addr=["%ap", "%i"], array="a")
+        b.st_shared(addr=["%i"], value="%x")
+        b.add("%i", "%i", 1)
+        b.setp("%p", "%i", "%n")
+        b.bra("loop", pred="%p")
+        b.st_global(addr=["%ap"], value="%i", array="a")
+        b.exit()
+        return b.build()
+
+    def array_specs(self):
+        return [("a", 4 * MB)]
+
+    def pattern_for(self, array, access_id):
+        return LinearPattern("a", span_elements=256)
+
+
+class CandidateOnlyWorkload(TraceModel):
+    """The whole kernel is one candidate loop — no plain work at all."""
+
+    name = "ALLCAND"
+    default_iterations = 4
+    max_iterations = 4
+
+    def build_kernel(self):
+        b = KernelBuilder("all_cand", params=["%ap", "%bp", "%n"])
+        b.mov("%i", 0)
+        b.label("loop")
+        b.ld_global("%x", addr=["%ap", "%i"], array="a")
+        b.ld_global("%y", addr=["%bp", "%i"], array="b")
+        b.st_global(addr=["%ap", "%i"], value="%y", array="a")
+        b.add("%i", "%i", 1)
+        b.setp("%p", "%i", "%n")
+        b.bra("loop", pred="%p")
+        b.exit()
+        return b.build()
+
+    def array_specs(self):
+        return [("a", 4 * MB), ("b", 4 * MB)]
+
+    def pattern_for(self, array, access_id):
+        return LinearPattern(array, span_elements=128)
+
+
+class TestNoCandidates:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_trace(NoCandidateWorkload(), ndp_config(), TraceScale.TINY, 0)
+
+    def test_trace_has_only_plain_segments(self, trace):
+        assert trace.total_candidate_instances == 0
+        assert trace.selection.candidates == ()
+        for task in trace.tasks:
+            assert all(isinstance(s, PlainSegment) for s in task.segments)
+
+    def test_baseline_runs(self, trace):
+        result = Simulator(trace, baseline_config(), BASELINE).run()
+        assert result.cycles > 0
+
+    def test_ndp_policy_degenerates_gracefully(self, trace):
+        result = Simulator(trace, ndp_config(), NDP_CTRL_BMAP).run()
+        assert result.offload.candidates_considered == 0
+        assert result.offload.offloaded_instruction_fraction == 0.0
+
+    def test_tmap_skips_learning(self, trace):
+        result = Simulator(trace, ndp_config(), NDP_CTRL_TMAP).run()
+        assert result.learned_bit_position is None
+        assert result.traffic.pcie == 0
+
+
+class TestCandidateOnly:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return build_trace(CandidateOnlyWorkload(), ndp_config(), TraceScale.TINY, 0)
+
+    def test_partition_has_minimal_plain(self, trace):
+        # a single mov before the loop is the only non-candidate code
+        candidate = trace.selection.candidates[0]
+        assert candidate.end == len(trace.kernel) - 1  # everything but exit
+
+    def test_simulates_under_all_policies(self, trace):
+        for config, policy in (
+            (baseline_config(), BASELINE),
+            (ndp_config(), NDP_CTRL_BMAP),
+            (ndp_config(), NDP_CTRL_TMAP),
+        ):
+            result = Simulator(trace, config, policy).run()
+            assert result.warp_instructions == trace.total_instructions
+
+
+class TestPartitionHelper:
+    def test_gap_before_and_after(self):
+        trace = build_trace(CandidateOnlyWorkload(), ndp_config(), TraceScale.TINY, 0)
+        regions = _partition(trace.kernel, trace.selection)
+        kinds = [r.block_id is not None for r in regions]
+        # plain prologue, candidate, plain exit
+        assert kinds == [False, True, False]
+        assert regions[0].start == 0
+        assert regions[-1].end == len(trace.kernel)
+
+    def test_regions_tile_the_kernel(self):
+        trace = build_trace(CandidateOnlyWorkload(), ndp_config(), TraceScale.TINY, 0)
+        regions = _partition(trace.kernel, trace.selection)
+        cursor = 0
+        for region in regions:
+            assert region.start == cursor
+            cursor = region.end
+        assert cursor == len(trace.kernel)
+
+
+class TestPaperReferenceData:
+    def test_suite_reference_structure(self):
+        assert PAPER["avg_ideal_ndp_speedup"]["AVG"] == 1.58
+        assert PAPER["fig8_speedup_ctrl_tmap"]["AVG"] == 1.30
+        assert PAPER["sec66_area_mm2"]["total"] == 0.11
+
+    def test_reference_workloads_exist(self):
+        for key in ("fig8_speedup_ctrl_tmap", "fig8_speedup_ctrl_bmap"):
+            for workload in PAPER[key]:
+                assert workload in SUITE_ORDER or workload in ("AVG", "MAX")

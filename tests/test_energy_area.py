@@ -1,0 +1,100 @@
+"""Tests for the energy model and the Section 6.6 area estimate."""
+
+import pytest
+
+from repro import baseline_config, ndp_config
+from repro.energy.area import (
+    GPU_AREA_MM2,
+    MM2_PER_BIT,
+    PAPER_TOTAL_MM2,
+    estimate_area,
+)
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.errors import AnalysisError
+
+CFG = ndp_config()
+
+
+class TestEnergyModel:
+    def _compute(self, **overrides):
+        kwargs = dict(
+            elapsed_cycles=10_000.0,
+            warp_instructions=50_000,
+            n_sms_powered=68,
+            link_active_bits=1e9,
+            link_idle_bit_cycles=1e10,
+            dram_activations=1000,
+            dram_bytes=1e7,
+        )
+        kwargs.update(overrides)
+        return EnergyModel(CFG).compute(**kwargs)
+
+    def test_all_segments_positive(self):
+        energy = self._compute()
+        assert energy.sm_j > 0
+        assert energy.links_j > 0
+        assert energy.dram_j > 0
+        assert energy.total_j == pytest.approx(
+            energy.sm_j + energy.links_j + energy.dram_j
+        )
+
+    def test_link_energy_constants(self):
+        # isolate link energy: 1e9 bits at 2 pJ/bit + 1e10 idle at 1.5 pJ
+        energy = self._compute()
+        expected = (1e9 * 2.0 + 1e10 * 1.5) * 1e-12
+        assert energy.links_j == pytest.approx(expected)
+
+    def test_dram_energy_constants(self):
+        energy = self._compute()
+        expected = 1000 * 11.8e-9 + 1e7 * 8 * 4.0e-12
+        assert energy.dram_j == pytest.approx(expected)
+
+    def test_leakage_scales_with_time(self):
+        short = self._compute(elapsed_cycles=1_000.0)
+        long = self._compute(elapsed_cycles=100_000.0)
+        assert long.sm_j > short.sm_j
+
+    def test_fractions(self):
+        energy = self._compute()
+        total = (
+            energy.fraction("sm") + energy.fraction("links") + energy.fraction("dram")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_scaled(self):
+        energy = self._compute()
+        assert energy.scaled(2.0).total_j == pytest.approx(2 * energy.total_j)
+
+    def test_zero_breakdown_fraction_raises(self):
+        with pytest.raises(AnalysisError):
+            EnergyBreakdown(0.0, 0.0, 0.0).fraction("sm")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            self._compute(elapsed_cycles=-1.0)
+
+
+class TestAreaEstimate:
+    def test_paper_bit_counts(self):
+        estimate = estimate_area(CFG)
+        assert estimate.analyzer_bits_per_sm == 1920
+        assert estimate.metadata_bits_per_sm == 10320
+        assert estimate.allocation_table_bits == 9700
+        assert estimate.per_sm_bits == 12240
+
+    def test_total_area_matches_paper(self):
+        estimate = estimate_area(CFG)
+        assert estimate.total_mm2 == pytest.approx(PAPER_TOTAL_MM2, rel=1e-6)
+
+    def test_gpu_fraction_is_paper_value(self):
+        estimate = estimate_area(CFG)
+        assert estimate.gpu_fraction == pytest.approx(0.00018, rel=1e-6)
+        assert GPU_AREA_MM2 == pytest.approx(0.11 / 0.00018)
+
+    def test_area_scales_with_sms(self):
+        small = estimate_area(CFG)
+        big = estimate_area(baseline_config())  # 68 SMs
+        assert big.total_mm2 > small.total_mm2
+
+    def test_mm2_per_bit_positive(self):
+        assert MM2_PER_BIT > 0

@@ -1,0 +1,54 @@
+"""The exception hierarchy: everything is catchable as ReproError."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    AnalysisError,
+    AssemblyError,
+    CompilerError,
+    ConfigError,
+    IsaError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+ALL_ERRORS = [
+    AllocationError,
+    AnalysisError,
+    AssemblyError,
+    CompilerError,
+    ConfigError,
+    IsaError,
+    SimulationError,
+    TraceError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_subclasses_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+
+
+def test_assembly_error_is_isa_error():
+    assert issubclass(AssemblyError, IsaError)
+
+
+def test_assembly_error_line_number():
+    error = AssemblyError("bad token", line_number=7)
+    assert "line 7" in str(error)
+    assert error.line_number == 7
+    bare = AssemblyError("bad token")
+    assert bare.line_number is None
+
+
+def test_library_failures_are_catchable_at_the_root():
+    from repro.utils.bitops import ilog2
+
+    with pytest.raises(ReproError):
+        ilog2(3)
+    from repro.compiler.cost_model import warp_estimate
+
+    with pytest.raises(ReproError):
+        warp_estimate(-1, 0, 0, 0)

@@ -1,0 +1,109 @@
+"""Tests for the kernel-driven trace generator."""
+
+import pytest
+
+from repro import TraceScale, build_trace, ndp_config
+from repro.gpu.warp import CandidateSegment, PlainSegment
+from tests.conftest import MiniWorkload
+
+CFG = ndp_config()
+
+
+class TestTraceStructure:
+    def test_scale_sets_warp_count(self, mini_trace):
+        assert mini_trace.n_warps == TraceScale.TINY.n_warps
+
+    def test_one_candidate_instance_per_warp(self, mini_trace):
+        # MINI has exactly one candidate loop
+        for task in mini_trace.tasks:
+            assert task.n_candidate_instances == 1
+        assert mini_trace.total_candidate_instances == mini_trace.n_warps
+
+    def test_segments_interleave_plain_and_candidate(self, mini_trace):
+        task = mini_trace.tasks[0]
+        kinds = [type(s).__name__ for s in task.segments]
+        assert "CandidateSegment" in kinds
+        assert "PlainSegment" in kinds
+
+    def test_instruction_totals_positive(self, mini_trace):
+        assert mini_trace.total_instructions > 0
+        for task in mini_trace.tasks:
+            assert task.total_instructions >= len(mini_trace.kernel)
+
+    def test_candidate_ids_match_selection(self, mini_trace):
+        block_ids = {c.block_id for c in mini_trace.selection.candidates}
+        for segment in mini_trace.candidate_segments():
+            assert segment.block_id in block_ids
+
+    def test_condition_value_equals_iterations(self, mini_trace):
+        for segment in mini_trace.candidate_segments():
+            assert segment.condition_value == segment.iterations
+            assert 4 <= segment.iterations <= 8
+
+    def test_accesses_match_kernel_accesses(self, mini_trace):
+        kernel = mini_trace.kernel
+        for segment in mini_trace.candidate_segments():
+            per_iteration = len(segment.accesses) // segment.iterations
+            candidate = mini_trace.selection.candidates[0]
+            assert per_iteration == candidate.n_loads + candidate.n_stores
+            for access in segment.accesses:
+                instr = kernel.access(access.access_id)
+                assert instr.is_store == access.is_store
+
+    def test_arrays_allocated(self, mini_trace):
+        names = {entry.name for entry in mini_trace.allocation_table}
+        assert names == {"a", "b", "c"}
+
+    def test_addresses_fall_in_arrays(self, mini_trace):
+        table = mini_trace.allocation_table
+        for segment in mini_trace.candidate_segments()[:10]:
+            for access in segment.accesses:
+                for line in access.line_addresses:
+                    assert table.lookup(line) is not None
+
+    def test_coalescing_measured(self, mini_trace):
+        assert mini_trace.measured_coalescing >= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        first = build_trace(MiniWorkload(), CFG, TraceScale.TINY, seed=3)
+        second = build_trace(MiniWorkload(), CFG, TraceScale.TINY, seed=3)
+        for t1, t2 in zip(first.tasks, second.tasks):
+            assert t1.total_instructions == t2.total_instructions
+            for s1, s2 in zip(t1.segments, t2.segments):
+                if isinstance(s1, CandidateSegment):
+                    assert s1.iterations == s2.iterations
+                    for a1, a2 in zip(s1.accesses, s2.accesses):
+                        assert a1.line_addresses == a2.line_addresses
+
+    def test_different_seed_different_trace(self):
+        first = build_trace(MiniWorkload(), CFG, TraceScale.TINY, seed=1)
+        second = build_trace(MiniWorkload(), CFG, TraceScale.TINY, seed=2)
+        iters1 = [s.iterations for s in first.candidate_segments()]
+        iters2 = [s.iterations for s in second.candidate_segments()]
+        assert iters1 != iters2
+
+
+class TestWeightedInstructionCounts:
+    def test_transcendentals_cost_more(self):
+        from repro.isa import KernelBuilder
+        from repro.trace.generator import _weighted_instructions
+
+        b = KernelBuilder("w")
+        b.add("%a", 1, 2)
+        b.div("%b", "%a", 3)
+        b.exit()
+        kernel = b.build()
+        assert _weighted_instructions(kernel, 0, 2) > 2
+
+
+class TestIrregularTrace:
+    def test_trace_builds(self, irregular_trace):
+        assert irregular_trace.total_candidate_instances > 0
+
+    def test_random_addresses_not_repeated_across_warps(self, irregular_trace):
+        segments = irregular_trace.candidate_segments()
+        first = segments[0].all_line_addresses()
+        second = segments[1].all_line_addresses()
+        assert first != second

@@ -1,0 +1,133 @@
+"""Tests for the GPU-side structures: coalescer, warp tasks, SMs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ndp_config
+from repro.errors import TraceError
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.sm import build_main_sms, build_stack_sms
+from repro.gpu.warp import (
+    CandidateSegment,
+    PlainSegment,
+    WarpAccess,
+    WarpTask,
+    count_candidate_instances,
+    total_trace_instructions,
+)
+from repro.utils.simcore import Engine
+
+CFG = ndp_config()
+
+
+class TestCoalescer:
+    def test_fully_coalesced_warp(self):
+        coalescer = Coalescer(128)
+        lanes = np.arange(32, dtype=np.int64) * 4  # 32 floats = 1 line
+        access = coalescer.coalesce(lanes)
+        assert access.n_lines == 1
+        assert access.line_addresses == (0,)
+        assert access.active_lanes == 32
+
+    def test_strided_warp_explodes(self):
+        coalescer = Coalescer(128)
+        lanes = np.arange(32, dtype=np.int64) * 128
+        access = coalescer.coalesce(lanes)
+        assert access.n_lines == 32
+
+    def test_line_alignment(self):
+        coalescer = Coalescer(128)
+        access = coalescer.coalesce(np.array([130, 140, 260]))
+        assert access.line_addresses == (128, 256)
+
+    def test_average_ratio(self):
+        coalescer = Coalescer(128)
+        coalescer.coalesce(np.arange(32, dtype=np.int64) * 4)
+        coalescer.coalesce(np.arange(32, dtype=np.int64) * 128)
+        assert coalescer.average_ratio == pytest.approx((1 + 32) / 2)
+
+    def test_empty_warp_rejected(self):
+        with pytest.raises(TraceError):
+            Coalescer(128).coalesce(np.array([], dtype=np.int64))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            Coalescer(128).coalesce(np.array([-4], dtype=np.int64))
+
+    @given(st.lists(st.integers(0, 2**30), min_size=1, max_size=32))
+    def test_lines_cover_every_lane(self, raw):
+        coalescer = Coalescer(128)
+        lanes = np.array(raw, dtype=np.int64)
+        access = coalescer.coalesce(lanes)
+        lines = set(access.line_addresses)
+        for address in raw:
+            assert (address >> 7) << 7 in lines
+        # and no spurious lines
+        assert len(lines) == len({(a >> 7) << 7 for a in raw})
+
+
+class TestWarpStructures:
+    def test_access_validation(self):
+        with pytest.raises(TraceError):
+            WarpAccess(access_id=0, is_store=False, line_addresses=())
+        with pytest.raises(TraceError):
+            WarpAccess(0, False, (128,), active_lanes=0)
+
+    def test_plain_segment_counts(self):
+        access = WarpAccess(0, False, (0,))
+        segment = PlainSegment(n_instructions=5, accesses=(access,))
+        assert segment.n_instructions == 5
+        with pytest.raises(TraceError):
+            PlainSegment(n_instructions=0, accesses=(access,))
+
+    def test_candidate_segment_counts(self):
+        loads = tuple(WarpAccess(i, False, (i * 128,)) for i in range(3))
+        stores = (WarpAccess(3, True, (1024,)),)
+        segment = CandidateSegment(
+            block_id=0,
+            n_instructions=10,
+            accesses=loads + stores,
+            iterations=2,
+            condition_value=2,
+        )
+        assert segment.n_loads == 3
+        assert segment.n_stores == 1
+        assert segment.all_line_addresses() == [0, 128, 256, 1024]
+
+    def test_candidate_validation(self):
+        with pytest.raises(TraceError):
+            CandidateSegment(block_id=0, n_instructions=1, accesses=(), iterations=0)
+
+    def test_task_aggregates(self):
+        plain = PlainSegment(n_instructions=4)
+        candidate = CandidateSegment(block_id=0, n_instructions=6, accesses=())
+        task = WarpTask(warp_id=0, segments=(plain, candidate))
+        assert task.total_instructions == 10
+        assert task.n_candidate_instances == 1
+        assert count_candidate_instances([task, task]) == 2
+        assert total_trace_instructions([task, task]) == 20
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(TraceError):
+            WarpTask(warp_id=0, segments=())
+
+
+class TestSmConstruction:
+    def test_main_sm_count_and_slots(self):
+        sms = build_main_sms(Engine(), CFG)
+        assert len(sms) == 64
+        assert sms[0].slots.capacity == 48
+        assert sms[0].cta_slots.capacity == CFG.gpu.max_ctas_per_sm
+
+    def test_stack_sm_capacity_multiplier(self):
+        cfg4 = ndp_config(warp_capacity_multiplier=4)
+        sms = build_stack_sms(Engine(), cfg4)
+        assert len(sms) == 4
+        assert sms[0].slots.capacity == 4 * 48
+
+    def test_issue_accounting(self):
+        sm = build_main_sms(Engine(), CFG)[0]
+        sm.charge_instructions(10)
+        assert sm.instructions_issued == 10

@@ -1,0 +1,107 @@
+"""Tests for packet sizing and the link fabric."""
+
+import pytest
+
+from repro import ndp_config
+from repro.config import MessageConfig
+from repro.errors import SimulationError
+from repro.interconnect.links import LinkFabric
+from repro.interconnect.packets import PacketSizes
+from repro.utils.simcore import Engine
+
+CFG = ndp_config()
+
+
+class TestPacketSizes:
+    packets = PacketSizes(MessageConfig())
+
+    def test_load_request_is_addresses(self):
+        assert self.packets.load_request(1) == 4
+        assert self.packets.load_request(3) == 12
+
+    def test_load_reply_is_lines(self):
+        assert self.packets.load_reply(2) == 256
+
+    def test_store_request_has_data_words(self):
+        # 2 lines + 32 active lanes: 2 addresses + 32 words
+        assert self.packets.store_request(2, 32) == 2 * 4 + 32 * 4
+
+    def test_store_ack(self):
+        assert self.packets.store_ack(4) == 4
+
+    def test_unit_ratios_match_section_311(self):
+        messages = MessageConfig()
+        # address == data word == register == 4x ack
+        assert messages.address_bytes == messages.word_bytes
+        assert messages.address_bytes == messages.register_bytes
+        assert messages.address_bytes == 4 * messages.ack_bytes
+        assert messages.sc_ratio == 32
+
+    def test_offload_request_scales_with_live_ins(self):
+        none = self.packets.offload_request(0, 32)
+        six = self.packets.offload_request(6, 32)
+        assert six - none == 6 * 4 * 32
+
+    def test_offload_ack_includes_dirty_list(self):
+        clean = self.packets.offload_ack(0, 32, 0)
+        dirty = self.packets.offload_ack(0, 32, 10)
+        assert dirty - clean == 10 * 4
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(SimulationError):
+            self.packets.load_request(0)
+        with pytest.raises(SimulationError):
+            self.packets.store_request(1, 0)
+        with pytest.raises(SimulationError):
+            self.packets.offload_request(-1, 32)
+        with pytest.raises(SimulationError):
+            self.packets.offload_ack(0, 32, -1)
+
+
+class TestLinkFabric:
+    def test_topology(self):
+        fabric = LinkFabric(Engine(), CFG)
+        assert len(fabric.tx) == 4
+        assert len(fabric.rx) == 4
+        assert len(fabric.cross) == 12  # fully connected, unidirectional
+
+    def test_aggregate_bandwidth_split(self):
+        fabric = LinkFabric(Engine(), CFG)
+        per_direction = CFG.bytes_per_cycle(CFG.links.gpu_stack_gbps / 2)
+        assert fabric.tx[0].rate == pytest.approx(per_direction)
+        assert fabric.rx[0].rate == pytest.approx(per_direction)
+
+    def test_cross_link_lookup(self):
+        fabric = LinkFabric(Engine(), CFG)
+        assert fabric.cross_link(0, 1) is fabric.cross[(0, 1)]
+        assert fabric.cross_link(0, 1) is not fabric.cross_link(1, 0)
+        with pytest.raises(SimulationError):
+            fabric.cross_link(1, 1)
+
+    def test_traffic_breakdown(self):
+        engine = Engine()
+        fabric = LinkFabric(engine, CFG)
+        fabric.tx[0].reserve(100)
+        fabric.rx[1].reserve(200)
+        fabric.cross_link(0, 2).reserve(50)
+        fabric.pcie.reserve(30)
+        traffic = fabric.traffic()
+        assert traffic.gpu_memory_tx == 100
+        assert traffic.gpu_memory_rx == 200
+        assert traffic.memory_memory == 50
+        assert traffic.pcie == 30
+        assert traffic.off_chip_total == 350
+
+    def test_active_bits(self):
+        engine = Engine()
+        fabric = LinkFabric(engine, CFG)
+        fabric.tx[0].reserve(10)
+        assert fabric.active_bits() == 80.0
+
+    def test_idle_bit_cycles_decreases_with_traffic(self):
+        engine = Engine()
+        fabric = LinkFabric(engine, CFG)
+        idle_before = fabric.idle_bit_cycles(1000.0)
+        fabric.tx[0].reserve(1000)
+        idle_after = fabric.idle_bit_cycles(1000.0)
+        assert idle_after < idle_before

@@ -1,0 +1,144 @@
+"""Tests for the mini-PTX IR: instructions, kernels, and the builder."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import Instruction, Kernel, KernelBuilder, OpClass, Opcode
+from repro.isa.instructions import dynamic_weight, is_register, opclass_of
+
+
+class TestOperands:
+    def test_register_detection(self):
+        assert is_register("%r1")
+        assert not is_register("r1")
+        assert not is_register(7)
+        assert not is_register(1.5)
+
+    def test_opclass_mapping(self):
+        assert opclass_of(Opcode.LD_GLOBAL) is OpClass.LOAD
+        assert opclass_of(Opcode.ST_GLOBAL) is OpClass.STORE
+        assert opclass_of(Opcode.LD_SHARED) is OpClass.SHARED_LOAD
+        assert opclass_of(Opcode.BAR_SYNC) is OpClass.BARRIER
+        assert opclass_of(Opcode.ATOM_GLOBAL) is OpClass.ATOMIC
+        assert opclass_of(Opcode.BRA) is OpClass.BRANCH
+        assert opclass_of(Opcode.EXIT) is OpClass.EXIT
+        assert opclass_of(Opcode.MAD) is OpClass.ALU
+
+    def test_dynamic_weights(self):
+        assert dynamic_weight(Opcode.ADD) == 1
+        assert dynamic_weight(Opcode.DIV) > 1
+        assert dynamic_weight(Opcode.EXP) > 1
+
+
+class TestInstruction:
+    def test_reads_and_writes(self):
+        instr = Instruction(
+            opcode=Opcode.MAD, dsts=("%d",), srcs=("%a", "%b", 2.0), pred="%p"
+        )
+        assert set(instr.reads) == {"%a", "%b", "%p"}
+        assert instr.writes == ("%d",)
+
+    def test_load_properties(self):
+        load = Instruction(
+            opcode=Opcode.LD_GLOBAL, dsts=("%x",), srcs=("%base", "%i"), array="arr"
+        )
+        assert load.is_load and not load.is_store
+        assert load.is_global_memory
+        assert load.array == "arr"
+
+    def test_store_reads_value_and_address(self):
+        store = Instruction(
+            opcode=Opcode.ST_GLOBAL, srcs=("%value", "%base", "%i")
+        )
+        assert store.is_store
+        assert set(store.reads) == {"%value", "%base", "%i"}
+
+    def test_non_register_destination_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.ADD, dsts=("dest",), srcs=("%a", "%b"))
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.ADD, dsts=("%d",), srcs=(1,), pred="p")
+
+    def test_bra_needs_target(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.BRA)
+
+    def test_render_load_store(self):
+        load = Instruction(opcode=Opcode.LD_GLOBAL, dsts=("%x",), srcs=("%a", "%i"))
+        assert load.render() == "ld.global %x, [%a + %i]"
+        store = Instruction(opcode=Opcode.ST_GLOBAL, srcs=("%v", "%a", "%i"))
+        assert store.render() == "st.global [%a + %i], %v"
+
+    def test_render_predicated(self):
+        instr = Instruction(opcode=Opcode.BRA, target="loop", pred="%p")
+        assert instr.render() == "@%p bra loop"
+
+
+class TestKernel:
+    def _loop_kernel(self):
+        b = KernelBuilder("k", params=["%n"])
+        b.mov("%i", 0)
+        b.label("loop")
+        b.ld_global("%x", addr=["%i"], array="a")
+        b.add("%i", "%i", 1)
+        b.setp("%p", "%i", "%n")
+        b.bra("loop", pred="%p")
+        b.st_global(addr=["%i"], value="%x", array="b")
+        b.exit()
+        return b.build()
+
+    def test_access_ids_dense(self):
+        kernel = self._loop_kernel()
+        ids = [i.access_id for i in kernel.memory_instructions]
+        assert ids == [0, 1]
+        assert kernel.n_accesses == 2
+
+    def test_access_lookup(self):
+        kernel = self._loop_kernel()
+        assert kernel.access(0).is_load
+        assert kernel.access(1).is_store
+        with pytest.raises(IsaError):
+            kernel.access(2)
+
+    def test_label_index(self):
+        kernel = self._loop_kernel()
+        assert kernel.label_index("loop") == 1
+        with pytest.raises(IsaError):
+            kernel.label_index("nope")
+
+    def test_undefined_branch_target_rejected(self):
+        b = KernelBuilder("k")
+        b.bra("nowhere")
+        b.exit()
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_must_terminate(self):
+        b = KernelBuilder("k")
+        b.mov("%a", 1)
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(IsaError):
+            KernelBuilder("k").build()
+
+    def test_dump_contains_labels_and_params(self):
+        kernel = self._loop_kernel()
+        text = kernel.dump()
+        assert ".kernel k" in text
+        assert ".param %n" in text
+        assert "loop:" in text
+        assert "ld.global" in text
+
+    def test_duplicate_label_rejected(self):
+        b = KernelBuilder("k")
+        b.label("x")
+        with pytest.raises(IsaError):
+            b.label("x")
+
+    def test_iteration(self):
+        kernel = self._loop_kernel()
+        assert len(list(kernel)) == len(kernel) == 7

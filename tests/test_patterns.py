@@ -1,0 +1,213 @@
+"""Tests for the access-pattern primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.memory.allocation import MemoryAllocationTable
+from repro.trace.patterns import (
+    AccessContext,
+    BroadcastPattern,
+    ButterflyPattern,
+    LinearPattern,
+    LocalRandomPattern,
+    MixturePattern,
+    PhaseShiftPattern,
+    RandomPattern,
+    StridedPattern,
+)
+
+
+def make_table():
+    table = MemoryAllocationTable()
+    table.allocate("a", 1 << 22)
+    table.allocate("b", 1 << 22)
+    return table
+
+
+def ctx(warp_id=0, iteration=0, instance=0, total_instances=100, lanes=32, seed=0,
+        total_iterations=8):
+    return AccessContext(
+        warp_id=warp_id,
+        instance_index=instance,
+        total_instances=total_instances,
+        iteration=iteration,
+        total_iterations=total_iterations,
+        lane_ids=np.arange(lanes, dtype=np.int64),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestBinding:
+    def test_unbound_pattern_raises(self):
+        pattern = LinearPattern("a")
+        with pytest.raises(TraceError):
+            pattern.lane_addresses(ctx())
+
+    def test_bind_returns_self(self):
+        pattern = LinearPattern("a")
+        assert pattern.bind(make_table()) is pattern
+
+    def test_unknown_array(self):
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            LinearPattern("missing").bind(make_table())
+
+
+class TestLinearPattern:
+    def test_consecutive_lanes_consecutive_elements(self):
+        pattern = LinearPattern("a").bind(make_table())
+        addresses = pattern.lane_addresses(ctx())
+        assert list(np.diff(addresses)) == [4] * 31
+
+    def test_iteration_advances_by_warp_width(self):
+        pattern = LinearPattern("a").bind(make_table())
+        first = pattern.lane_addresses(ctx(iteration=0))
+        second = pattern.lane_addresses(ctx(iteration=1))
+        assert second[0] - first[0] == 32 * 4
+
+    def test_fixed_span_tiles_warps(self):
+        pattern = LinearPattern("a", span_elements=256).bind(make_table())
+        w0 = pattern.lane_addresses(ctx(warp_id=0))
+        w1 = pattern.lane_addresses(ctx(warp_id=1))
+        assert w1[0] - w0[0] == 256 * 4
+
+    def test_offset_elements(self):
+        table = make_table()
+        base = LinearPattern("a").bind(table)
+        shifted = LinearPattern("a", offset_elements=3).bind(table)
+        assert shifted.lane_addresses(ctx())[0] - base.lane_addresses(ctx())[0] == 12
+
+    def test_fixed_offset_between_arrays(self):
+        # same index into two arrays -> constant inter-array delta
+        table = make_table()
+        a = LinearPattern("a", span_elements=256).bind(table)
+        b = LinearPattern("b", span_elements=256).bind(table)
+        deltas = {
+            int(b.lane_addresses(ctx(warp_id=w, iteration=i))[0]
+                - a.lane_addresses(ctx(warp_id=w, iteration=i))[0])
+            for w in range(4)
+            for i in range(4)
+        }
+        assert len(deltas) == 1
+
+    def test_wraps_inside_array(self):
+        table = make_table()
+        pattern = LinearPattern("a").bind(table)
+        addresses = pattern.lane_addresses(ctx(warp_id=10**6))
+        entry = table["a"]
+        assert all(entry.start <= a < entry.end for a in addresses)
+
+
+class TestOtherPatterns:
+    def test_strided_spreads_lanes(self):
+        pattern = StridedPattern("a", stride_elements=64).bind(make_table())
+        addresses = pattern.lane_addresses(ctx())
+        assert np.all(np.diff(addresses) == 64 * 4)
+
+    def test_strided_rejects_bad_stride(self):
+        with pytest.raises(TraceError):
+            StridedPattern("a", stride_elements=0)
+
+    def test_random_within_bounds(self):
+        table = make_table()
+        pattern = RandomPattern("a").bind(table)
+        addresses = pattern.lane_addresses(ctx())
+        entry = table["a"]
+        assert all(entry.start <= a < entry.end for a in addresses)
+
+    def test_random_is_seed_deterministic(self):
+        pattern = RandomPattern("a").bind(make_table())
+        first = pattern.lane_addresses(ctx(seed=3))
+        second = pattern.lane_addresses(ctx(seed=3))
+        assert np.array_equal(first, second)
+
+    def test_local_random_stays_in_window(self):
+        table = make_table()
+        pattern = LocalRandomPattern("a", window_elements=1024).bind(table)
+        addresses = pattern.lane_addresses(ctx(warp_id=3))
+        entry = table["a"]
+        window_base = entry.start + 3 * 1024 * 4
+        assert all(window_base <= a < window_base + 1024 * 4 for a in addresses)
+
+    def test_local_random_rejects_empty_window(self):
+        with pytest.raises(TraceError):
+            LocalRandomPattern("a", window_elements=0)
+
+    def test_broadcast_single_line(self):
+        pattern = BroadcastPattern("a", record_elements=1).bind(make_table())
+        addresses = pattern.lane_addresses(ctx(iteration=5))
+        assert len(set(addresses.tolist())) == 1
+
+    def test_broadcast_advances_with_iteration(self):
+        pattern = BroadcastPattern("a", record_elements=1).bind(make_table())
+        i0 = pattern.lane_addresses(ctx(iteration=0))[0]
+        i1 = pattern.lane_addresses(ctx(iteration=1))[0]
+        assert i1 - i0 == 4
+
+    def test_butterfly_partner_distance_constant_within_instance(self):
+        pattern = ButterflyPattern("a").bind(make_table())
+        base = LinearPattern("a").bind(make_table())
+        context = ctx(instance=3)
+        partner = pattern.lane_addresses(context)
+        assert partner.shape == (32,)
+
+    def test_butterfly_stage_varies_by_instance(self):
+        pattern = ButterflyPattern("a", n_stages=4).bind(make_table())
+        first = pattern.lane_addresses(ctx(instance=0))
+        second = pattern.lane_addresses(ctx(instance=1))
+        assert not np.array_equal(first, second)
+
+
+class TestComposites:
+    def test_mixture_probability_extremes(self):
+        table = make_table()
+        regular = LinearPattern("a")
+        random = RandomPattern("a")
+        never = MixturePattern(regular, random, p_random=0.0).bind(table)
+        always = MixturePattern(LinearPattern("a"), RandomPattern("a"), 1.0).bind(table)
+        lin = LinearPattern("a").bind(table)
+        assert np.array_equal(never.lane_addresses(ctx()), lin.lane_addresses(ctx()))
+        # always-random output is extremely unlikely to equal the linear scan
+        assert not np.array_equal(
+            always.lane_addresses(ctx()), lin.lane_addresses(ctx())
+        )
+
+    def test_mixture_validates_probability(self):
+        with pytest.raises(TraceError):
+            MixturePattern(LinearPattern("a"), RandomPattern("a"), 1.5)
+
+    def test_phase_shift_switches_pattern(self):
+        table = make_table()
+        early = LinearPattern("a")
+        late = LinearPattern("a", offset_elements=1000)
+        shifted = PhaseShiftPattern(early, late, shift_at=0.5).bind(table)
+        lin = LinearPattern("a").bind(table)
+        before = shifted.lane_addresses(ctx(instance=10, total_instances=100))
+        after = shifted.lane_addresses(ctx(instance=90, total_instances=100))
+        assert np.array_equal(before, lin.lane_addresses(ctx()))
+        assert after[0] - before[0] == 1000 * 4
+
+    def test_phase_shift_validates_fraction(self):
+        with pytest.raises(TraceError):
+            PhaseShiftPattern(LinearPattern("a"), LinearPattern("a"), 1.0)
+
+    @given(st.integers(0, 500), st.integers(0, 15), st.integers(1, 32))
+    def test_all_patterns_stay_in_bounds(self, warp, iteration, lanes):
+        table = make_table()
+        entry = table["a"]
+        patterns = [
+            LinearPattern("a").bind(table),
+            StridedPattern("a", 16).bind(table),
+            LocalRandomPattern("a", 512).bind(table),
+            BroadcastPattern("a").bind(table),
+            ButterflyPattern("a").bind(table),
+        ]
+        context = ctx(warp_id=warp, iteration=iteration, lanes=lanes)
+        for pattern in patterns:
+            addresses = pattern.lane_addresses(context)
+            assert addresses.shape == (lanes,)
+            assert all(entry.start <= a < entry.end for a in addresses)

@@ -1,0 +1,187 @@
+"""Heavier property-based tests across subsystems (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ndp_config
+from repro.gpu.coalescer import Coalescer
+from repro.memory.address_mapping import (
+    BaselineMapping,
+    ConsecutiveBitMapping,
+    HybridMapping,
+)
+from repro.memory.cache import Cache
+from repro.utils.simcore import (
+    Acquire,
+    AllOf,
+    BandwidthResource,
+    Engine,
+    Get,
+    Put,
+    SlotPool,
+    Timeout,
+)
+
+CFG = ndp_config()
+
+
+class TestMappingPartition:
+    """Every mapping must be a *function*: each line lands on exactly
+    one (stack, vault), and over a large aligned region the partition
+    is reasonably balanced."""
+
+    @given(st.integers(7, 16), st.integers(0, 2**20))
+    @settings(max_examples=30)
+    def test_consecutive_bit_balance(self, position, base_page):
+        mapping = ConsecutiveBitMapping(CFG, position)
+        base = base_page << 12
+        lines = base + np.arange(4096, dtype=np.int64) * 128
+        counts = np.bincount(mapping.stack_of(lines), minlength=4)
+        # a 512 KB span covers >= 2^19 / 2^(position+2) chunks; for any
+        # position <= 16 each stack appears
+        assert counts.sum() == 4096
+        assert (counts > 0).all()
+
+    @given(
+        st.sets(st.integers(0, 10_000), max_size=50),
+        st.integers(7, 14),
+        st.lists(st.integers(0, 2**32), min_size=1, max_size=50),
+    )
+    @settings(max_examples=30)
+    def test_hybrid_is_a_pure_function(self, pages, position, addrs):
+        mapping = HybridMapping(
+            CFG, ConsecutiveBitMapping(CFG, position), candidate_pages=pages
+        )
+        lines = np.array([a & ~127 for a in addrs], dtype=np.int64)
+        first = np.asarray(mapping.stack_of(lines))
+        second = np.asarray(mapping.stack_of(lines))
+        assert np.array_equal(first, second)
+        assert ((first >= 0) & (first < 4)).all()
+
+
+class TestCoalescerProperties:
+    @given(st.lists(st.integers(0, 2**34), min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_coalescing_is_idempotent(self, addrs):
+        coalescer = Coalescer(128)
+        lanes = np.array(addrs, dtype=np.int64)
+        once = coalescer.coalesce(lanes)
+        again = coalescer.coalesce(np.array(once.line_addresses, dtype=np.int64))
+        assert again.line_addresses == once.line_addresses
+
+    @given(st.lists(st.integers(0, 2**30), min_size=1, max_size=64))
+    def test_line_count_bounded_by_lanes(self, addrs):
+        coalescer = Coalescer(128)
+        access = coalescer.coalesce(np.array(addrs, dtype=np.int64))
+        assert 1 <= access.n_lines <= len(addrs)
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["load", "store", "inval"]), st.integers(0, 40)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_cache_state_machine(self, ops):
+        """A reference-model check: the cache's contents must equal a
+        simple LRU simulation of the same operation stream."""
+        cache = Cache(4 * 2 * 128, ways=2, line_bytes=128)
+        from collections import OrderedDict
+
+        reference = [OrderedDict() for _ in range(4)]
+
+        for op, line in ops:
+            ref_set = reference[line & 3]
+            if op == "load":
+                cache.load(line)
+                if line in ref_set:
+                    ref_set.move_to_end(line)
+                else:
+                    ref_set[line] = True
+                    if len(ref_set) > 2:
+                        ref_set.popitem(last=False)
+            elif op == "store":
+                cache.store(line)
+                if line in ref_set:
+                    ref_set.move_to_end(line)
+            else:
+                cache.invalidate(line)
+                ref_set.pop(line, None)
+
+        for line in range(41):
+            assert cache.contains(line) == (line in reference[line & 3])
+
+
+class TestSimcoreProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.5, 20.0), st.floats(0.0, 5.0)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_pipeline_conservation(self, jobs):
+        """Processes that each acquire a shared link then hold a slot:
+        total link busy time and slot counts must balance exactly."""
+        engine = Engine()
+        link = BandwidthResource(engine, "link", rate=2.0)
+        pool = SlotPool(engine, "pool", capacity=3)
+        done = []
+
+        def proc(size, hold):
+            yield Acquire(link, size)
+            yield Get(pool)
+            yield Timeout(hold)
+            yield Put(pool)
+            done.append(size)
+
+        for size, hold in jobs:
+            engine.process(proc(size, hold))
+        engine.run()
+        assert len(done) == len(jobs)
+        assert link.busy_time == pytest.approx(sum(s for s, _ in jobs) / 2.0)
+        assert pool.in_use == 0
+        assert pool.total_gets == len(jobs)
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_allof_completes_at_max(self, delays):
+        engine = Engine()
+        finish = []
+
+        def child(delay):
+            yield Timeout(delay)
+
+        def parent():
+            children = [engine.process(child(d)) for d in delays]
+            yield AllOf(children)
+            finish.append(engine.now)
+
+        engine.process(parent())
+        engine.run()
+        assert finish[0] == pytest.approx(max(delays))
+
+    @given(st.integers(1, 6), st.lists(st.floats(0.5, 5.0), min_size=1, max_size=25))
+    @settings(max_examples=40)
+    def test_slot_pool_throughput_bound(self, capacity, holds):
+        """With capacity c and per-job hold h_i, the makespan is at
+        least sum(h)/c and at most sum(h)."""
+        engine = Engine()
+        pool = SlotPool(engine, "p", capacity)
+
+        def proc(hold):
+            yield Get(pool)
+            yield Timeout(hold)
+            yield Put(pool)
+
+        for hold in holds:
+            engine.process(proc(hold))
+        makespan = engine.run()
+        total = sum(holds)
+        assert makespan >= total / capacity - 1e-6
+        assert makespan <= total + 1e-6

@@ -1,0 +1,58 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro import TraceScale, build_trace, ndp_config
+from repro.errors import TraceError
+from repro.trace.serialize import load_trace, save_trace, trace_checksum
+from tests.conftest import MiniWorkload, IrregularMiniWorkload
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, mini_trace, tmp_path):
+        path = str(tmp_path / "mini.npz")
+        save_trace(mini_trace, path)
+        loaded = load_trace(path, mini_trace)
+        assert loaded.total_instructions == mini_trace.total_instructions
+        assert loaded.n_warps == mini_trace.n_warps
+        assert trace_checksum(loaded) == trace_checksum(mini_trace)
+        for t1, t2 in zip(loaded.tasks, mini_trace.tasks):
+            assert t1.warp_id == t2.warp_id
+            for s1, s2 in zip(t1.segments, t2.segments):
+                assert type(s1) is type(s2)
+                assert s1.n_instructions == s2.n_instructions
+                for a1, a2 in zip(s1.accesses, s2.accesses):
+                    assert a1.line_addresses == a2.line_addresses
+                    assert a1.is_store == a2.is_store
+
+    def test_loaded_trace_simulates_identically(self, mini_trace, tmp_path):
+        from repro import BASELINE, baseline_config
+        from repro.core.simulator import Simulator
+
+        path = str(tmp_path / "mini.npz")
+        save_trace(mini_trace, path)
+        loaded = load_trace(path, mini_trace)
+        first = Simulator(mini_trace, baseline_config(), BASELINE).run()
+        second = Simulator(loaded, baseline_config(), BASELINE).run()
+        assert first.cycles == second.cycles
+        assert first.traffic.off_chip_total == second.traffic.off_chip_total
+
+
+class TestValidation:
+    def test_wrong_workload_rejected(self, mini_trace, irregular_trace, tmp_path):
+        path = str(tmp_path / "mini.npz")
+        save_trace(mini_trace, path)
+        with pytest.raises(TraceError):
+            load_trace(path, irregular_trace)
+
+    def test_wrong_seed_reference_rejected(self, mini_trace, tmp_path):
+        other = build_trace(MiniWorkload(), ndp_config(), TraceScale.TINY, seed=99)
+        path = str(tmp_path / "mini.npz")
+        save_trace(mini_trace, path)
+        # same kernel + allocations -> loads fine, and the archive's
+        # dynamic content replaces the reference's
+        loaded = load_trace(path, other)
+        assert trace_checksum(loaded) == trace_checksum(mini_trace)
+
+    def test_checksum_is_sensitive(self, mini_trace, irregular_trace):
+        assert trace_checksum(mini_trace) != trace_checksum(irregular_trace)

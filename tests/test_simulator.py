@@ -1,0 +1,167 @@
+"""Integration tests for the event-driven simulator on the MINI trace."""
+
+import pytest
+
+from repro import (
+    BASELINE,
+    IDEAL_NDP,
+    NDP_CTRL_BMAP,
+    NDP_CTRL_TMAP,
+    NDP_NOCTRL_BMAP,
+    baseline_config,
+    ndp_config,
+)
+from repro.core.policies import MappingPolicy, NDP_CTRL_ORACLE
+from repro.core.simulator import Simulator
+from repro.errors import SimulationError
+
+NDP_CFG = ndp_config()
+BASE_CFG = baseline_config()
+
+
+def run(trace, policy, config=None):
+    if config is None:
+        config = BASE_CFG if not policy.offloads else NDP_CFG
+    return Simulator(trace, config, policy).run()
+
+
+class TestBaselineRun:
+    def test_completes_with_positive_ipc(self, mini_trace):
+        result = run(mini_trace, BASELINE)
+        assert result.cycles > 0
+        assert result.ipc > 0
+        assert result.policy_label == "baseline"
+
+    def test_executes_every_instruction(self, mini_trace):
+        result = run(mini_trace, BASELINE)
+        assert result.warp_instructions == mini_trace.total_instructions
+        assert result.offload.offloaded_warp_instructions == 0
+
+    def test_moves_off_chip_bytes(self, mini_trace):
+        result = run(mini_trace, BASELINE)
+        assert result.traffic.gpu_memory_rx > 0
+        assert result.traffic.gpu_memory_tx > 0
+        assert result.traffic.memory_memory == 0  # no NDP, no cross-stack
+        assert result.traffic.pcie == 0
+
+    def test_no_offload_decisions(self, mini_trace):
+        result = run(mini_trace, BASELINE)
+        assert result.offload.candidates_considered == 0
+
+    def test_energy_positive(self, mini_trace):
+        result = run(mini_trace, BASELINE)
+        assert result.energy.total_j > 0
+        # SMs dominate a GPU's energy (paper: ~77% in the baseline)
+        assert result.energy.fraction("sm") > 0.4
+
+    def test_deterministic(self, mini_trace):
+        first = run(mini_trace, BASELINE)
+        second = run(mini_trace, BASELINE)
+        assert first.cycles == second.cycles
+        assert first.traffic.off_chip_total == second.traffic.off_chip_total
+
+    def test_simulator_runs_once(self, mini_trace):
+        simulator = Simulator(mini_trace, BASE_CFG, BASELINE)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+
+class TestOffloadedRuns:
+    def test_instruction_conservation_across_policies(self, mini_trace):
+        for policy in (NDP_CTRL_BMAP, NDP_NOCTRL_BMAP, NDP_CTRL_TMAP, IDEAL_NDP):
+            result = run(mini_trace, policy)
+            assert result.warp_instructions == mini_trace.total_instructions
+
+    def test_noctrl_offloads_every_eligible_instance(self, mini_trace):
+        result = run(mini_trace, NDP_NOCTRL_BMAP)
+        breakdown = result.offload.decision_breakdown
+        assert breakdown.get("stack_full", 0) == 0
+        assert result.offload.candidates_offloaded > 0
+
+    def test_ctrl_offloads_no_more_than_noctrl(self, mini_trace):
+        ctrl = run(mini_trace, NDP_CTRL_BMAP)
+        noctrl = run(mini_trace, NDP_NOCTRL_BMAP)
+        assert (
+            ctrl.offload.offloaded_instruction_fraction
+            <= noctrl.offload.offloaded_instruction_fraction + 1e-9
+        )
+
+    def test_offloading_reduces_rx_traffic(self, mini_trace):
+        base = run(mini_trace, BASELINE)
+        ndp = run(mini_trace, NDP_NOCTRL_BMAP)
+        assert ndp.traffic.gpu_memory_rx < base.traffic.gpu_memory_rx
+
+    def test_offload_generates_cross_stack_traffic_under_bmap(self, mini_trace):
+        result = run(mini_trace, NDP_NOCTRL_BMAP)
+        assert result.traffic.memory_memory > 0
+
+    def test_coherence_protocol_ran(self, mini_trace):
+        result = run(mini_trace, NDP_CTRL_BMAP)
+        assert result.offload.candidates_offloaded > 0
+        assert result.offload.dirty_lines_reported > 0
+
+    def test_conditional_candidates_filtered(self, mini_trace):
+        # MINI loop: 4 live-ins, 2 loads + 1 store -> threshold <= 4;
+        # all instances iterate >= 4, so condition refusals are rare
+        result = run(mini_trace, NDP_CTRL_BMAP)
+        assert "condition_false" not in result.offload.decision_breakdown or (
+            result.offload.decision_breakdown["condition_false"]
+            < mini_trace.total_candidate_instances
+        )
+
+    def test_ideal_is_fastest_policy(self, mini_trace):
+        ideal = run(mini_trace, IDEAL_NDP)
+        ctrl = run(mini_trace, NDP_CTRL_BMAP)
+        assert ideal.ipc >= ctrl.ipc * 0.95
+
+    def test_ideal_has_negligible_offchip_traffic(self, mini_trace):
+        base = run(mini_trace, BASELINE)
+        ideal = run(mini_trace, IDEAL_NDP)
+        assert ideal.traffic.off_chip_total < 0.35 * base.traffic.off_chip_total
+
+
+class TestTmapRun:
+    def test_learning_happened(self, mini_trace):
+        result = run(mini_trace, NDP_CTRL_TMAP)
+        assert result.learned_bit_position is not None
+        assert result.learned_colocation is not None
+        assert result.traffic.pcie > 0  # learning phase crossed PCI-E
+
+    def test_learned_mapping_colocates_mini(self, mini_trace):
+        result = run(mini_trace, NDP_CTRL_TMAP)
+        # MINI streams fixed per-warp chunks: near-perfect co-location
+        assert result.learned_colocation > 0.8
+
+    def test_tmap_cuts_cross_stack_traffic(self, mini_trace):
+        bmap = run(mini_trace, NDP_NOCTRL_BMAP)
+        from repro import NDP_NOCTRL_TMAP
+
+        tmap = run(mini_trace, NDP_NOCTRL_TMAP)
+        assert tmap.traffic.memory_memory < bmap.traffic.memory_memory
+
+    def test_oracle_mapping_run(self, mini_trace):
+        result = run(mini_trace, NDP_CTRL_ORACLE)
+        assert result.learned_bit_position is not None
+        assert result.traffic.pcie == 0  # oracle needs no learning phase
+
+
+class TestIrregularRun:
+    def test_all_policies_complete(self, irregular_trace):
+        for policy in (BASELINE, NDP_CTRL_BMAP, NDP_CTRL_TMAP):
+            result = run(irregular_trace, policy)
+            assert result.cycles > 0
+
+    def test_random_access_defeats_learning(self, irregular_trace):
+        result = run(irregular_trace, NDP_CTRL_TMAP)
+        # uniform random gather cannot co-locate; the runtime must fall
+        # back to the baseline mapping rather than concentrate pages
+        assert result.learned_colocation < 0.6
+
+
+class TestMismatchedConfig:
+    def test_offload_policy_requires_ndp_config(self, mini_trace):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            Simulator(mini_trace, BASE_CFG, NDP_CTRL_BMAP)

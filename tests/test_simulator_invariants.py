@@ -1,0 +1,140 @@
+"""Cross-policy invariants of the simulator on real suite workloads.
+
+These complement test_simulator.py (MINI-based) with checks against
+physically-meaningful properties that must hold regardless of
+calibration: conservation, monotonicity under resource scaling, and
+bottleneck sanity.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    BASELINE,
+    IDEAL_NDP,
+    NDP_CTRL_BMAP,
+    TOM,
+    TraceScale,
+    WorkloadRunner,
+    ndp_config,
+)
+from repro.core.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def sp_runner():
+    return WorkloadRunner("SP", scale=TraceScale.TINY, seed=1)
+
+
+@pytest.fixture(scope="module")
+def lib_runner():
+    return WorkloadRunner("LIB", scale=TraceScale.TINY, seed=1)
+
+
+class TestConservation:
+    def test_same_instructions_every_policy(self, sp_runner):
+        totals = {
+            policy.label: sp_runner.run(policy).warp_instructions
+            for policy in (BASELINE, NDP_CTRL_BMAP, TOM, IDEAL_NDP)
+        }
+        assert len(set(totals.values())) == 1
+
+    def test_offloaded_plus_main_covers_all(self, lib_runner):
+        result = lib_runner.run(NDP_CTRL_BMAP)
+        assert (
+            result.offload.offloaded_warp_instructions
+            <= result.offload.total_warp_instructions
+        )
+
+    def test_decisions_cover_candidate_instances(self, lib_runner):
+        result = lib_runner.run(NDP_CTRL_BMAP)
+        # every candidate instance got exactly one decision
+        assert (
+            result.offload.candidates_considered
+            == lib_runner.trace.total_candidate_instances
+        )
+
+
+class TestResourceScaling:
+    def test_more_link_bandwidth_never_slower(self, sp_runner):
+        slow_cfg = ndp_config()
+        fast_cfg = dataclasses.replace(
+            slow_cfg,
+            links=dataclasses.replace(slow_cfg.links, gpu_stack_gbps=160.0),
+        )
+        slow = Simulator(sp_runner.trace, slow_cfg, NDP_CTRL_BMAP).run()
+        fast = Simulator(sp_runner.trace, fast_cfg, NDP_CTRL_BMAP).run()
+        assert fast.cycles <= slow.cycles * 1.02
+
+    def test_more_internal_bandwidth_never_slower(self, sp_runner):
+        one_x = ndp_config(internal_bandwidth_ratio=1.0)
+        two_x = ndp_config(internal_bandwidth_ratio=2.0)
+        slow = Simulator(sp_runner.trace, one_x, NDP_CTRL_BMAP).run()
+        fast = Simulator(sp_runner.trace, two_x, NDP_CTRL_BMAP).run()
+        assert fast.cycles <= slow.cycles * 1.02
+
+    def test_bigger_stack_sms_accept_more_offloads(self, lib_runner):
+        small = Simulator(
+            lib_runner.trace, ndp_config(warp_capacity_multiplier=1), NDP_CTRL_BMAP
+        ).run()
+        large = Simulator(
+            lib_runner.trace, ndp_config(warp_capacity_multiplier=4), NDP_CTRL_BMAP
+        ).run()
+        assert (
+            large.offload.candidates_offloaded
+            >= small.offload.candidates_offloaded
+        )
+
+
+class TestBottleneckSanity:
+    def test_cycles_bounded_below_by_issue_throughput(self, sp_runner):
+        """Elapsed time can never beat the aggregate issue bandwidth."""
+        result = sp_runner.baseline()
+        config = sp_runner.baseline_configuration
+        min_cycles = result.warp_instructions / (
+            config.gpu.n_sms * config.gpu.issue_per_cycle
+        )
+        assert result.cycles >= min_cycles
+
+    def test_traffic_bounded_below_by_compulsory_misses(self, sp_runner):
+        """Every distinct line must cross the links at least... zero
+        times (caches could hold them) — but the total RX bytes can
+        never exceed what the trace can possibly request."""
+        result = sp_runner.baseline()
+        total_lines = sum(
+            access.n_lines
+            for task in sp_runner.trace.tasks
+            for segment in task.segments
+            for access in segment.accesses
+        )
+        line_bytes = sp_runner.baseline_configuration.messages.cache_line_bytes
+        assert result.traffic.gpu_memory_rx <= total_lines * line_bytes * 1.01
+
+    def test_ideal_traffic_is_request_packets_only(self, sp_runner):
+        base = sp_runner.baseline()
+        ideal = sp_runner.run(IDEAL_NDP)
+        assert ideal.traffic.off_chip_total < 0.2 * base.traffic.off_chip_total
+
+    def test_row_hit_rate_high_for_streaming(self, sp_runner):
+        result = sp_runner.baseline()
+        assert result.dram_row_hit_rate > 0.7
+
+    def test_l1_filters_some_loads(self):
+        runner = WorkloadRunner("KM", scale=TraceScale.TINY, seed=1)
+        result = runner.baseline()
+        # the centroid broadcast must produce L1 hits
+        assert result.l1_load_miss_rate < 0.9
+
+
+class TestSeedStability:
+    def test_different_seeds_same_direction(self):
+        """The headline comparison (ctrl+bmap vs baseline on SP) must
+        not flip sign across seeds."""
+        speedups = []
+        for seed in (1, 2, 3):
+            runner = WorkloadRunner("SP", scale=TraceScale.TINY, seed=seed)
+            speedups.append(runner.speedup(NDP_CTRL_BMAP))
+        assert all(s > 1.0 for s in speedups), speedups
+        spread = max(speedups) / min(speedups)
+        assert spread < 1.5, f"seed sensitivity too high: {speedups}"

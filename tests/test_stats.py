@@ -1,0 +1,134 @@
+"""Tests for repro.utils.stats."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.utils.stats import (
+    CounterGroup,
+    RunningMean,
+    arithmetic_mean,
+    geometric_mean,
+    modal_fraction,
+    normalize,
+    weighted_mean,
+)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        with pytest.raises(AnalysisError):
+            geometric_mean([])
+
+    def test_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(AnalysisError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=10))
+    def test_at_most_arithmetic(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        with pytest.raises(AnalysisError):
+            arithmetic_mean([])
+
+    def test_weighted(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+        with pytest.raises(AnalysisError):
+            weighted_mean([(1.0, 0.0)])
+
+    def test_running_mean(self):
+        rm = RunningMean()
+        rm.add(2.0)
+        rm.add(4.0)
+        assert rm.mean == pytest.approx(3.0)
+
+    def test_running_mean_weighted(self):
+        rm = RunningMean()
+        rm.add(1.0, weight=3.0)
+        rm.add(5.0, weight=1.0)
+        assert rm.mean == pytest.approx(2.0)
+
+    def test_running_mean_empty(self):
+        with pytest.raises(AnalysisError):
+            RunningMean().mean
+
+
+class TestNormalize:
+    def test_basic(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(AnalysisError):
+            normalize({"a": 1.0}, "z")
+
+    def test_zero_baseline(self):
+        with pytest.raises(AnalysisError):
+            normalize({"a": 0.0}, "a")
+
+
+class TestModalFraction:
+    def test_basic(self):
+        assert modal_fraction(Counter({0: 3, 1: 1})) == pytest.approx(0.75)
+
+    def test_single_key(self):
+        assert modal_fraction(Counter({2: 5})) == 1.0
+
+    def test_empty(self):
+        with pytest.raises(AnalysisError):
+            modal_fraction(Counter())
+
+    @given(st.dictionaries(st.integers(0, 3), st.integers(1, 50), min_size=1))
+    def test_bounds(self, counts):
+        fraction = modal_fraction(Counter(counts))
+        assert 1.0 / len(counts) - 1e-9 <= fraction <= 1.0
+
+
+class TestCounterGroup:
+    def test_add_get(self):
+        group = CounterGroup("traffic")
+        group.add("rx", 10.0)
+        group.add("rx", 5.0)
+        assert group.get("rx") == 15.0
+        assert group.get("missing") == 0.0
+
+    def test_merge_and_total(self):
+        a = CounterGroup()
+        a.add("x", 1.0)
+        b = CounterGroup()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == 3.0
+        assert a.total() == 6.0
+
+    def test_scaled(self):
+        group = CounterGroup()
+        group.add("x", 2.0)
+        assert group.scaled(2.5).get("x") == 5.0
+
+    def test_as_dict_is_copy(self):
+        group = CounterGroup()
+        group.add("x", 1.0)
+        snapshot = group.as_dict()
+        snapshot["x"] = 99.0
+        assert group.get("x") == 1.0

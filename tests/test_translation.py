@@ -1,0 +1,114 @@
+"""Tests for stack-SM virtual address translation (Section 4.4.1)."""
+
+import dataclasses
+
+import pytest
+
+from repro import TraceScale, WorkloadRunner, ndp_config
+from repro.core.policies import NDP_CTRL_BMAP
+from repro.core.simulator import Simulator
+from repro.errors import ConfigError
+from repro.ndp.translation import StackTranslation, Tlb, WalkRequest
+
+
+def translation_config(tlb_entries=64):
+    cfg = ndp_config()
+    return dataclasses.replace(
+        cfg,
+        translation=dataclasses.replace(
+            cfg.translation, enabled=True, tlb_entries=tlb_entries
+        ),
+    )
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=4)
+        assert not tlb.lookup(1)
+        assert tlb.lookup(1)
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        tlb.lookup(3)  # evicts 1
+        assert not tlb.lookup(1)
+
+    def test_flush(self):
+        tlb = Tlb(entries=4)
+        tlb.lookup(1)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert not tlb.lookup(1)
+
+    def test_needs_capacity(self):
+        with pytest.raises(ConfigError):
+            Tlb(entries=0)
+
+
+class TestStackTranslation:
+    def test_first_touch_walks(self):
+        unit = StackTranslation(translation_config(), stack_id=0)
+        walks = unit.translate([0, 128, 4096])
+        # two distinct pages -> two walks
+        assert len(walks) == 2
+        assert unit.stats.misses == 2
+
+    def test_warm_tlb_no_walks(self):
+        unit = StackTranslation(translation_config(), stack_id=0)
+        unit.translate([0, 4096])
+        assert unit.translate([64, 4160]) == []
+        assert unit.stats.hit_rate > 0
+
+    def test_walk_distribution_local_and_remote(self):
+        unit = StackTranslation(translation_config(), stack_id=0)
+        pages = [page * 4096 for page in range(16)]
+        walks = unit.translate(pages)
+        stacks = {walk.page_table_stack for walk in walks}
+        assert stacks == {0, 1, 2, 3}
+        assert unit.stats.local_walks > 0
+        assert unit.stats.remote_walks > 0
+
+    def test_duplicate_pages_deduplicated_per_call(self):
+        unit = StackTranslation(translation_config(), stack_id=0)
+        walks = unit.translate([0, 4, 8, 12])
+        assert len(walks) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            translation_config(tlb_entries=0).validate()
+
+
+class TestEndToEnd:
+    def test_translation_charges_time(self):
+        runner = WorkloadRunner("SP", scale=TraceScale.TINY)
+        plain = Simulator(runner.trace, ndp_config(), NDP_CTRL_BMAP).run()
+        translated = Simulator(
+            runner.trace, translation_config(), NDP_CTRL_BMAP
+        ).run()
+        # walks cost something, but stay a small overhead (the paper's
+        # point: translation hardware on stack SMs is cheap)
+        assert translated.cycles >= plain.cycles * 0.99
+        assert translated.cycles <= plain.cycles * 1.25
+
+    def test_translation_stats_populated(self):
+        runner = WorkloadRunner("SP", scale=TraceScale.TINY)
+        simulator = Simulator(runner.trace, translation_config(), NDP_CTRL_BMAP)
+        simulator.run()
+        assert simulator.system.translations is not None
+        total_lookups = sum(
+            unit.stats.lookups for unit in simulator.system.translations
+        )
+        assert total_lookups > 0
+
+    def test_baseline_has_no_translation_units(self):
+        from repro import BASELINE, baseline_config
+
+        runner = WorkloadRunner("SP", scale=TraceScale.TINY)
+        cfg = baseline_config()
+        cfg = dataclasses.replace(
+            cfg, translation=dataclasses.replace(cfg.translation, enabled=True)
+        )
+        simulator = Simulator(runner.trace, cfg, BASELINE)
+        simulator.run()
+        assert simulator.system.translations is None

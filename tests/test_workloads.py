@@ -1,0 +1,147 @@
+"""Tests over the full Table 2 workload suite."""
+
+import numpy as np
+import pytest
+
+from repro import TraceScale, build_trace, make_workload, ndp_config
+from repro.compiler import TripKind, select_candidates
+from repro.errors import ConfigError
+from repro.workloads import SUITE_ORDER, full_suite, workload_names
+
+CFG = ndp_config()
+
+
+class TestRegistry:
+    def test_all_ten_workloads_registered(self):
+        assert set(SUITE_ORDER) <= set(workload_names())
+        assert len(SUITE_ORDER) == 10
+
+    def test_suite_order_matches_paper(self):
+        assert SUITE_ORDER == [
+            "BP", "BFS", "KM", "CFD", "HW", "LIB", "RAY", "FWT", "SP", "RD",
+        ]
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            make_workload("NOPE")
+
+    def test_full_suite_returns_fresh_instances(self):
+        first = full_suite()
+        second = full_suite()
+        assert first[0] is not second[0]
+
+
+@pytest.mark.parametrize("abbr", SUITE_ORDER)
+class TestEachWorkload:
+    def test_kernel_builds_and_terminates(self, abbr):
+        kernel = make_workload(abbr).build_kernel()
+        assert len(kernel) > 3
+        assert kernel.instructions[-1].is_exit
+
+    def test_kernel_has_global_memory(self, abbr):
+        kernel = make_workload(abbr).build_kernel()
+        assert kernel.n_accesses >= 1
+
+    def test_compiler_finds_candidates(self, abbr):
+        kernel = make_workload(abbr).build_kernel()
+        selection = select_candidates(kernel)
+        assert selection.candidates, f"{abbr} must have offload candidates"
+
+    def test_candidate_loops_have_runtime_conditions(self, abbr):
+        kernel = make_workload(abbr).build_kernel()
+        selection = select_candidates(kernel)
+        for candidate in selection.candidates:
+            if candidate.is_loop and candidate.trip.kind is TripKind.RUNTIME:
+                assert candidate.condition is not None
+                assert candidate.condition.min_iterations >= 1
+
+    def test_every_access_has_a_pattern(self, abbr):
+        model = make_workload(abbr)
+        kernel = model.build_kernel()
+        for instr in kernel.memory_instructions:
+            pattern = model.pattern_for(instr.array, instr.access_id)
+            assert pattern is not None
+
+    def test_arrays_declared(self, abbr):
+        model = make_workload(abbr)
+        specs = model.array_specs()
+        assert specs
+        assert all(size > 0 for _name, size in specs)
+        names = [name for name, _size in specs]
+        assert len(names) == len(set(names))
+
+    def test_iterations_positive(self, abbr):
+        model = make_workload(abbr)
+        rng = np.random.default_rng(0)
+        for warp in range(20):
+            iters = model.iterations_for(0, warp, rng)
+            assert 1 <= iters <= model.max_iterations
+
+    def test_active_lanes_valid(self, abbr):
+        model = make_workload(abbr)
+        rng = np.random.default_rng(0)
+        for warp in range(20):
+            lanes = model.active_lanes(warp, rng)
+            assert 1 <= lanes <= 32
+
+    def test_trace_builds_tiny(self, abbr):
+        trace = build_trace(make_workload(abbr), CFG, TraceScale.TINY, seed=0)
+        assert trace.total_candidate_instances > 0
+        assert trace.total_instructions > 0
+
+
+class TestWorkloadCharacter:
+    """Per-workload traits the models are meant to encode."""
+
+    def test_lib_has_two_loop_candidates(self):
+        selection = select_candidates(make_workload("LIB").build_kernel())
+        assert len([c for c in selection.candidates if c.is_loop]) == 2
+
+    def test_lib_break_even_is_four(self):
+        selection = select_candidates(make_workload("LIB").build_kernel())
+        assert selection.candidates[0].condition.min_iterations == 4
+
+    def test_bfs_diverges(self):
+        model = make_workload("BFS")
+        rng = np.random.default_rng(1)
+        lanes = {model.active_lanes(w, rng) for w in range(50)}
+        assert len(lanes) > 3
+
+    def test_rd_candidate_is_alu_rich(self):
+        selection = select_candidates(make_workload("RD").build_kernel())
+        candidate = selection.candidates[0]
+        assert candidate.n_alu >= candidate.n_loads + candidate.n_stores
+
+    def test_sp_candidate_is_load_dominated(self):
+        selection = select_candidates(make_workload("SP").build_kernel())
+        candidate = selection.candidates[0]
+        assert candidate.n_loads == 2
+        assert candidate.n_stores == 0
+
+    def test_km_centroids_are_small(self):
+        sizes = dict(make_workload("KM").array_specs())
+        assert sizes["centroids"] < sizes["features"] / 10
+
+
+class TestInputVariants:
+    def test_default_variant_everywhere(self):
+        for abbr in SUITE_ORDER:
+            model = make_workload(abbr)
+            assert model.variant == "default"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("LIB", variant="imaginary")
+
+    def test_lib_short_variant_iterates_below_threshold(self):
+        model = make_workload("LIB", variant="short")
+        rng = np.random.default_rng(0)
+        iterations = [model.iterations_for(0, w, rng) for w in range(50)]
+        assert max(iterations) < 4  # the compiler's break-even
+
+    def test_lib_default_mostly_clears_threshold(self):
+        model = make_workload("LIB")
+        rng = np.random.default_rng(0)
+        iterations = [model.iterations_for(0, w, rng) for w in range(100)]
+        cleared = sum(1 for i in iterations if i >= 4)
+        assert cleared > 80
