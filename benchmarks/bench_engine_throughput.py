@@ -1,0 +1,103 @@
+"""Raw event-engine throughput (events/second).
+
+Not one of the paper's figures: every figure and table in the paper
+reproduction executes through ``repro.utils.simcore``, so this
+microbenchmark is the tracked perf baseline for engine changes — run it
+before and after touching the hot path and compare events/sec.
+
+The synthetic process mix exercises every request type the simulator
+yields (Timeout, Acquire on a shared bandwidth resource, Get/Put on a
+contended slot pool, AllOf over child processes, Wait on an event) in
+roughly the proportions a warp task does.
+
+Standalone usage (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.simcore import (
+    Acquire,
+    AllOf,
+    BandwidthResource,
+    Engine,
+    Event,
+    Get,
+    Put,
+    SlotPool,
+    Timeout,
+    Wait,
+)
+
+N_TASKS = 20_000
+
+
+def build_synthetic_engine(n_tasks: int = N_TASKS) -> Engine:
+    """An engine loaded with ``n_tasks`` warp-task-shaped processes."""
+    engine = Engine()
+    link = BandwidthResource(engine, "link", rate=8.0, latency=3.0)
+    pool = SlotPool(engine, "slots", capacity=64)
+    gate = Event(engine)
+    engine.schedule(50.0, gate.succeed)
+
+    def child():
+        yield Timeout(1.0)
+
+    def task(i: int):
+        yield Timeout(float(i % 7))
+        if i % 97 == 0:  # a few stragglers block on the shared event
+            yield Wait(gate)
+        yield Acquire(link, 4.0)
+        yield Get(pool)
+        yield Timeout(2.0)
+        yield Put(pool)
+        children = [engine.process(child()) for _ in range(2)]
+        yield AllOf(children)
+
+    for i in range(n_tasks):
+        engine.process(task(i))
+    return engine
+
+
+def measure_events_per_second(n_tasks: int = N_TASKS, repeats: int = 3) -> float:
+    """Best-of-``repeats`` events/sec over the synthetic mix."""
+    best = 0.0
+    for _ in range(repeats):
+        engine = build_synthetic_engine(n_tasks)
+        start = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - start
+        best = max(best, engine.events_processed / elapsed)
+    return best
+
+
+def test_engine_throughput(benchmark):
+    engine_holder = {}
+
+    def run():
+        engine = build_synthetic_engine()
+        engine.run()
+        engine_holder["engine"] = engine
+        return engine
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    engine = engine_holder["engine"]
+    events_per_sec = engine.events_processed / benchmark.stats["min"]
+    print(
+        f"\nengine throughput: {engine.events_processed} events, "
+        f"best {events_per_sec:,.0f} events/sec"
+    )
+    # Sanity floor only — the number to watch is the printed events/sec.
+    assert engine.events_processed > 10 * N_TASKS
+
+
+def main() -> None:
+    events_per_sec = measure_events_per_second()
+    print(f"engine throughput: {events_per_sec:,.0f} events/sec (best of 3)")
+
+
+if __name__ == "__main__":
+    main()

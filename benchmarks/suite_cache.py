@@ -1,9 +1,17 @@
-"""Shared, per-process cache of the Figure 8 policy-grid simulations.
+"""Per-process memoization of the Figure 8 policy-grid simulations.
 
 Figures 8, 9, and 10 are three views (speedup, traffic, energy) of the
-same 50 simulations (10 workloads x baseline + 4 policies). The first
-benchmark that needs them pays the simulation cost; the others reuse
-the results and only time their aggregation.
+same 50 simulations (10 workloads x baseline + 4 policies); Figures 11
+and 12 share the warp-capacity sweep the same way.
+
+This module is now a thin shim: the heavy lifting moved into
+``repro.core.result_cache`` (persistent, content-addressed, on-disk —
+shared across processes and across runs, keyed on workload/config/
+policy/scale/seed/code-version) and ``repro.core.parallel``
+(``REPRO_JOBS`` worker processes). The ``lru_cache`` here only spares
+benchmarks in the *same* process the cache-probe round trip; cold
+benchmark processes hit the disk cache instead of re-simulating. See
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations

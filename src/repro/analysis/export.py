@@ -11,18 +11,26 @@ import json
 import os
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..core.results import SimulationResult
+from ..core.results import OffloadSummary, SimulationResult
+from ..energy.model import EnergyBreakdown
 from ..errors import AnalysisError
+from ..interconnect.links import TrafficBreakdown
 from .figures import FigureResult
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
-    """A flat, JSON-safe view of one simulation run."""
+    """A flat, JSON-safe view of one simulation run.
+
+    Lossless: :func:`result_from_dict` reconstructs an identical
+    :class:`SimulationResult` (this is what the persistent result cache
+    stores on disk).
+    """
     return {
         "workload": result.workload,
         "policy": result.policy_label,
         "cycles": result.cycles,
         "warp_instructions": result.warp_instructions,
+        "warp_size": result.warp_size,
         "thread_instructions": result.thread_instructions,
         "ipc": result.ipc,
         "traffic": {
@@ -42,6 +50,10 @@ def result_to_dict(result: SimulationResult) -> Dict:
             "candidates_considered": result.offload.candidates_considered,
             "candidates_offloaded": result.offload.candidates_offloaded,
             "offload_rate": result.offload.offload_rate,
+            "offloaded_warp_instructions": (
+                result.offload.offloaded_warp_instructions
+            ),
+            "total_warp_instructions": result.offload.total_warp_instructions,
             "offloaded_instruction_fraction": (
                 result.offload.offloaded_instruction_fraction
             ),
@@ -53,7 +65,51 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "l1_load_miss_rate": result.l1_load_miss_rate,
         "l2_load_miss_rate": result.l2_load_miss_rate,
         "dram_row_hit_rate": result.dram_row_hit_rate,
+        "extra": dict(result.extra),
     }
+
+
+def result_from_dict(payload: Dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`.
+
+    Raises ``KeyError``/``TypeError`` on malformed payloads; the result
+    cache treats those as misses.
+    """
+    traffic = payload["traffic"]
+    energy = payload["energy_j"]
+    offload = payload["offload"]
+    return SimulationResult(
+        workload=payload["workload"],
+        policy_label=payload["policy"],
+        cycles=payload["cycles"],
+        warp_instructions=payload["warp_instructions"],
+        warp_size=payload["warp_size"],
+        traffic=TrafficBreakdown(
+            gpu_memory_rx=traffic["gpu_memory_rx"],
+            gpu_memory_tx=traffic["gpu_memory_tx"],
+            memory_memory=traffic["memory_memory"],
+            pcie=traffic["pcie"],
+        ),
+        energy=EnergyBreakdown(
+            sm_j=energy["sm"],
+            links_j=energy["links"],
+            dram_j=energy["dram"],
+        ),
+        offload=OffloadSummary(
+            candidates_considered=offload["candidates_considered"],
+            candidates_offloaded=offload["candidates_offloaded"],
+            decision_breakdown=dict(offload["decisions"]),
+            offloaded_warp_instructions=offload["offloaded_warp_instructions"],
+            total_warp_instructions=offload["total_warp_instructions"],
+            dirty_lines_reported=offload["dirty_lines_reported"],
+        ),
+        learned_bit_position=payload["learned_bit_position"],
+        learned_colocation=payload["learned_colocation"],
+        l1_load_miss_rate=payload["l1_load_miss_rate"],
+        l2_load_miss_rate=payload["l2_load_miss_rate"],
+        dram_row_hit_rate=payload["dram_row_hit_rate"],
+        extra=dict(payload.get("extra", {})),
+    )
 
 
 def result_to_json(result: SimulationResult, indent: int = 2) -> str:

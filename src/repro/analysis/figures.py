@@ -9,6 +9,11 @@ Scale defaults to ``TraceScale.SMALL`` and can be raised globally via
 the ``REPRO_BENCH_SCALE`` environment variable (TINY/SMALL/MEDIUM/
 LARGE) — tmap's learning-phase overhead is a fixed cost, so larger
 scales track the paper more closely at the price of run time.
+
+Every timing driver submits its simulations through
+:func:`repro.core.experiment.run_suite`, which fans out across worker
+processes (``REPRO_JOBS``) and reuses the persistent result cache
+(``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``); see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..compiler.metadata import ENTRY_BITS, TABLE_ENTRIES
 from ..config import SystemConfig, ndp_config
-from ..core.experiment import WorkloadRunner, run_suite, suite_ratios, suite_speedups
+from ..core.experiment import run_suite, suite_ratios, suite_speedups
 from ..core.policies import (
     FIGURE8_GRID,
     IDEAL_NDP,
@@ -93,10 +98,11 @@ def _with_avg(values: Dict[str, float], kind: str = "geo") -> Dict[str, float]:
 
 def figure2(scale: Optional[TraceScale] = None, seed: int = 0) -> FigureResult:
     scale = scale or default_scale()
-    speedups: Dict[str, float] = {}
-    for name in SUITE_ORDER:
-        runner = WorkloadRunner(name, scale=scale, seed=seed)
-        speedups[name] = runner.speedup(IDEAL_NDP)
+    results = run_suite((IDEAL_NDP,), scale=scale, seed=seed)
+    speedups = {
+        name: per_policy[IDEAL_NDP.label].speedup_over(per_policy["baseline"])
+        for name, per_policy in results.items()
+    }
     return FigureResult(
         figure_id="Figure 2",
         title="Ideal speedup with near-data processing (no offload cost, "
@@ -112,14 +118,20 @@ def figure2(scale: Optional[TraceScale] = None, seed: int = 0) -> FigureResult:
 
 def figure3(scale: Optional[TraceScale] = None, seed: int = 0) -> FigureResult:
     scale = scale or default_scale()
-    speedups: Dict[str, float] = {}
-    for name in SUITE_ORDER:
-        runner = WorkloadRunner(name, scale=scale, seed=seed)
-        # Footnote 9: the motivation study predates dynamic control, so
-        # the comparison runs on the uncontrolled NDP system.
-        bmap = runner.run(NDP_NOCTRL_BMAP)
-        oracle = runner.run(NDP_NOCTRL_ORACLE)
-        speedups[name] = oracle.ipc / bmap.ipc
+    # Footnote 9: the motivation study predates dynamic control, so the
+    # comparison runs on the uncontrolled NDP system (no baseline runs
+    # needed — the ratio is oracle over bmap).
+    results = run_suite(
+        (NDP_NOCTRL_BMAP, NDP_NOCTRL_ORACLE),
+        scale=scale,
+        seed=seed,
+        include_baseline=False,
+    )
+    speedups = {
+        name: per_policy[NDP_NOCTRL_ORACLE.label].ipc
+        / per_policy[NDP_NOCTRL_BMAP.label].ipc
+        for name, per_policy in results.items()
+    }
     return FigureResult(
         figure_id="Figure 3",
         title="Effect of ideal (oracle best-2-bit) memory mapping on NDP "

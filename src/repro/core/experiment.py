@@ -3,13 +3,17 @@
 :class:`WorkloadRunner` generates one trace per (workload, scale, seed)
 and runs any number of policies against it, so policy comparisons are
 always apples-to-apples (same addresses, same iteration counts).
-:func:`run_suite` sweeps the full 10-workload suite.
+:func:`run_suite` sweeps the full 10-workload suite — in parallel
+across workloads when ``REPRO_JOBS`` allows (see
+:mod:`repro.core.parallel`) and backed by the persistent on-disk result
+cache (see :mod:`repro.core.result_cache`), so repeated figure drivers
+re-simulate nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig, baseline_config, ndp_config
 from ..errors import ConfigError
@@ -17,6 +21,8 @@ from ..trace.generator import TraceScale, WorkloadTrace, build_trace
 from ..utils.stats import geometric_mean
 from ..workloads.base import PaperWorkload, make_workload
 from ..workloads.suite import SUITE_ORDER
+from . import result_cache
+from .parallel import SuiteJob, run_jobs
 from .policies import BASELINE, RunPolicy
 from .results import SimulationResult
 from .simulator import Simulator
@@ -36,14 +42,44 @@ class WorkloadRunner:
         self.model = (
             make_workload(workload) if isinstance(workload, str) else workload
         )
+        # The persistent cache keys on the workload *name*; only the
+        # registered suite workloads are guaranteed to be reconstructible
+        # from their name alone, so ad-hoc workload objects stay
+        # in-memory-cached only.
+        self._persistent_ok = isinstance(workload, str)
         self.scale = scale
         self.seed = seed
         self.ndp_configuration = ndp_configuration or ndp_config()
         self.baseline_configuration = baseline_configuration or baseline_config()
-        self.trace: WorkloadTrace = build_trace(
-            self.model, self.ndp_configuration, scale, seed
-        )
+        self._trace: Optional[WorkloadTrace] = None
         self._cache: Dict[str, SimulationResult] = {}
+
+    @property
+    def trace(self) -> WorkloadTrace:
+        """The workload trace, built on first use. Laziness matters:
+        when every requested policy is a persistent-cache hit the trace
+        is never generated at all."""
+        if self._trace is None:
+            self._trace = build_trace(
+                self.model, self.ndp_configuration, self.scale, self.seed
+            )
+        return self._trace
+
+    def _persistent_key(
+        self,
+        policy: RunPolicy,
+        configuration: SystemConfig,
+        oracle_position: Optional[int],
+    ) -> str:
+        return result_cache.cache_key(
+            workload=self.model.name,
+            policy_label=policy.label,
+            scale=self.scale,
+            seed=self.seed,
+            trace_config=self.ndp_configuration,
+            run_config=configuration,
+            oracle_position=oracle_position,
+        )
 
     def run(
         self,
@@ -52,8 +88,9 @@ class WorkloadRunner:
         oracle_position: Optional[int] = None,
         cache: bool = True,
     ) -> SimulationResult:
-        """Simulate one policy; results are cached per policy label
-        unless a custom configuration is supplied."""
+        """Simulate one policy; results are cached per policy label in
+        memory (unless a custom configuration is supplied) and in the
+        persistent on-disk cache (for registered suite workloads)."""
         custom = configuration is not None
         key = policy.label
         if cache and not custom and key in self._cache:
@@ -64,9 +101,21 @@ class WorkloadRunner:
                 if not policy.offloads
                 else self.ndp_configuration
             )
+        persistent_key = None
+        if cache and self._persistent_ok and result_cache.enabled():
+            persistent_key = self._persistent_key(
+                policy, configuration, oracle_position
+            )
+            hit = result_cache.load(persistent_key)
+            if hit is not None:
+                if not custom:
+                    self._cache[key] = hit
+                return hit
         result = Simulator(
             self.trace, configuration, policy, oracle_position
         ).run()
+        if persistent_key is not None:
+            result_cache.store(persistent_key, result)
         if cache and not custom:
             self._cache[key] = result
         return result
@@ -84,28 +133,98 @@ class WorkloadRunner:
         return self.run(policy, **kwargs).energy_ratio_over(self.baseline())
 
 
+def _suite_policies(
+    policies: Sequence[RunPolicy], include_baseline: bool
+) -> Tuple[RunPolicy, ...]:
+    """Baseline first (when wanted), duplicates dropped, order kept."""
+    ordered: List[RunPolicy] = [BASELINE] if include_baseline else []
+    for policy in policies:
+        if policy not in ordered:
+            ordered.append(policy)
+    return tuple(ordered)
+
+
 def run_suite(
     policies: Sequence[RunPolicy],
     scale: TraceScale = TraceScale.SMALL,
     seed: int = 0,
     workloads: Optional[Sequence[str]] = None,
     ndp_configuration: Optional[SystemConfig] = None,
+    include_baseline: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run every policy (plus the baseline) on every suite workload.
+    """Run every policy on every suite workload.
 
     Returns ``{workload: {policy_label: result}}``; the baseline run is
-    always included under ``"baseline"``.
+    included under ``"baseline"`` unless ``include_baseline=False``.
+
+    Cached results (see :mod:`repro.core.result_cache`) are returned
+    without simulating; the remaining work is grouped into one job per
+    workload — so each trace is built once and shared across that
+    workload's policies — and dispatched across ``jobs`` worker
+    processes (default: ``REPRO_JOBS`` / CPU count; serial when 1).
+    Serial and parallel execution produce bit-identical results.
     """
     names = list(workloads) if workloads is not None else list(SUITE_ORDER)
-    results: Dict[str, Dict[str, SimulationResult]] = {}
+    wanted = _suite_policies(policies, include_baseline)
+    trace_config = ndp_configuration or ndp_config()
+    base_config = baseline_config()
+
+    results: Dict[str, Dict[str, SimulationResult]] = {
+        name: {} for name in names
+    }
+    pending: List[SuiteJob] = []
     for name in names:
-        runner = WorkloadRunner(
-            name, scale=scale, seed=seed, ndp_configuration=ndp_configuration
-        )
-        per_policy = {"baseline": runner.baseline()}
-        for policy in policies:
-            per_policy[policy.label] = runner.run(policy)
-        results[name] = per_policy
+        missing: List[RunPolicy] = []
+        for policy in wanted:
+            run_config = trace_config if policy.offloads else base_config
+            cached = None
+            if result_cache.enabled():
+                cached = result_cache.load(
+                    result_cache.cache_key(
+                        workload=name,
+                        policy_label=policy.label,
+                        scale=scale,
+                        seed=seed,
+                        trace_config=trace_config,
+                        run_config=run_config,
+                    )
+                )
+            if cached is not None:
+                results[name][policy.label] = cached
+            else:
+                missing.append(policy)
+        if missing:
+            pending.append(
+                SuiteJob(
+                    workload=name,
+                    policies=tuple(missing),
+                    scale=scale,
+                    seed=seed,
+                    ndp_configuration=ndp_configuration,
+                )
+            )
+
+    for job, job_results in zip(pending, run_jobs(pending, n_jobs=jobs)):
+        for policy in job.policies:
+            result = job_results[policy.label]
+            results[job.workload][policy.label] = result
+            # Workers store through their own WorkloadRunner; repeating
+            # the store here covers the serial path and crashed workers'
+            # surviving siblings alike (idempotent either way).
+            if result_cache.enabled():
+                run_config = trace_config if policy.offloads else base_config
+                result_cache.store(
+                    result_cache.cache_key(
+                        workload=job.workload,
+                        policy_label=policy.label,
+                        scale=scale,
+                        seed=seed,
+                        trace_config=trace_config,
+                        run_config=run_config,
+                    ),
+                    result,
+                )
     return results
 
 

@@ -1,0 +1,105 @@
+"""Parallel suite execution.
+
+Every paper figure fans out over the workload suite as independent,
+deterministic simulations. This module dispatches those simulations as
+*jobs* across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+A job is one ``(workload, scale, seed, configs)`` combination carrying
+the policies still to be simulated for it: the worker builds the trace
+once and runs every policy against it, exactly like
+:class:`repro.core.experiment.WorkloadRunner` does serially (workers
+reuse ``WorkloadRunner``, so the two paths share one code path and are
+bit-identical by construction — the engine itself is deterministic).
+
+Worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``).
+``REPRO_JOBS=1`` forces the serial in-process path, which is also the
+automatic fallback when job payloads cannot be pickled (e.g. debug runs
+with monkeypatched configs or ad-hoc workload objects) or when process
+pools are unavailable on the platform.
+
+Job payloads and results are plain frozen dataclasses (configs,
+policies, :class:`SimulationResult`), so pickling is cheap; traces are
+never shipped between processes — each worker rebuilds its own from the
+``(workload, scale, seed)`` triple.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..trace.generator import TraceScale
+from .policies import RunPolicy
+from .results import SimulationResult
+
+
+@dataclass(frozen=True)
+class SuiteJob:
+    """One workload's pending simulations: the trace is built once in
+    the worker and shared across every policy of the job."""
+
+    workload: str
+    policies: Tuple[RunPolicy, ...]
+    scale: TraceScale
+    seed: int
+    ndp_configuration: Optional[SystemConfig] = None
+    baseline_configuration: Optional[SystemConfig] = None
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else ``os.cpu_count()``."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def execute_job(job: SuiteJob) -> Dict[str, SimulationResult]:
+    """Run one job (in a worker or inline): build the workload's trace
+    once, simulate every requested policy against it. Results land in
+    the persistent cache from inside the worker, so even a crashed
+    parent keeps completed work."""
+    from .experiment import WorkloadRunner  # deferred: experiment imports us
+
+    runner = WorkloadRunner(
+        job.workload,
+        scale=job.scale,
+        seed=job.seed,
+        ndp_configuration=job.ndp_configuration,
+        baseline_configuration=job.baseline_configuration,
+    )
+    return {policy.label: runner.run(policy) for policy in job.policies}
+
+
+def run_jobs(
+    jobs: Sequence[SuiteJob], n_jobs: Optional[int] = None
+) -> List[Dict[str, SimulationResult]]:
+    """Execute every job, in submission order, and return their result
+    maps in the same order. Parallel across jobs; serial within a job
+    (policies of one workload share the worker's trace)."""
+    jobs = list(jobs)
+    workers = n_jobs if n_jobs is not None else default_jobs()
+    workers = min(workers, len(jobs))
+    if workers <= 1:
+        return [execute_job(job) for job in jobs]
+    try:
+        pickle.dumps(jobs)
+    except Exception:
+        # Pickling-hostile payloads (debug configs, ad-hoc objects):
+        # degrade to the serial path rather than fail.
+        return [execute_job(job) for job in jobs]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs))
+    except (OSError, ImportError):
+        # No process support (restricted platforms): serial fallback.
+        return [execute_job(job) for job in jobs]

@@ -1,0 +1,191 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Figures 8, 9, and 10 are three views of the same 50 simulations; the
+warp-capacity and bandwidth sweeps re-run the baseline and ctrl+tmap
+points of that grid again. The cache makes every ``(workload, config,
+policy, scale, seed)`` combination pay its simulation cost exactly once
+— across processes (parallel suite workers share it) and across runs
+(it lives on disk).
+
+Layout: one JSON file per result under the cache directory, named by a
+SHA-256 over the canonical JSON of every input that determines the
+result:
+
+* workload name, trace scale, trace seed;
+* the *trace* configuration (traces are built from the NDP config even
+  for baseline runs) and the *run* configuration, both as
+  ``dataclasses.asdict`` dictionaries;
+* the policy label (and oracle position, when pinned);
+* a code version: a hash over every ``.py`` source file of the
+  ``repro`` package, so any code change invalidates the whole cache.
+
+Environment knobs (documented in ``docs/PERFORMANCE.md``):
+
+``REPRO_CACHE_DIR``
+    Cache directory; default ``~/.cache/repro-tom``.
+``REPRO_NO_CACHE=1``
+    Disable the cache entirely (every run simulates).
+
+Results are stored via the lossless JSON serialization in
+:mod:`repro.analysis.export` (imported lazily to keep the core layer
+import-free of the analysis layer). Unreadable or stale-format entries
+are treated as misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from ..config import SystemConfig
+from ..trace.generator import TraceScale
+from .results import SimulationResult
+
+#: Bump when the on-disk payload format changes.
+_FORMAT_VERSION = 1
+
+#: Process-local counters, mainly for tests and diagnostics.
+stats = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def enabled() -> bool:
+    """The cache is on unless ``REPRO_NO_CACHE`` is set to a truthy flag."""
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-tom"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hash of every ``repro`` source file: any code change invalidates
+    every cached result (conservative, but always safe)."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def _config_fingerprint(config: SystemConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def cache_key(
+    workload: str,
+    policy_label: str,
+    scale: TraceScale,
+    seed: int,
+    trace_config: SystemConfig,
+    run_config: SystemConfig,
+    oracle_position: Optional[int] = None,
+) -> str:
+    """Content address of one simulation. Stable across processes and
+    interpreter sessions for identical inputs."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "code": code_version(),
+        "workload": workload,
+        "policy": policy_label,
+        "scale": scale.name,
+        "seed": seed,
+        "trace_config": _config_fingerprint(trace_config),
+        "run_config": _config_fingerprint(run_config),
+        "oracle_position": oracle_position,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def load(key: str) -> Optional[SimulationResult]:
+    """Fetch a cached result; ``None`` on miss (or when disabled)."""
+    if not enabled():
+        return None
+    path = _entry_path(key)
+    try:
+        with open(path, "r") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != _FORMAT_VERSION:
+            raise ValueError(f"stale cache format {payload.get('format')}")
+        from ..analysis.export import result_from_dict
+
+        result = result_from_dict(payload["result"])
+    except FileNotFoundError:
+        stats["misses"] += 1
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        # Corrupt or stale entry: drop it and simulate.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        stats["misses"] += 1
+        return None
+    stats["hits"] += 1
+    return result
+
+
+def store(key: str, result: SimulationResult) -> None:
+    """Persist a result under ``key``. Atomic (write + rename) so
+    concurrent workers never observe half-written entries; best-effort —
+    an unwritable cache directory degrades to no caching."""
+    if not enabled():
+        return
+    from ..analysis.export import result_to_dict
+
+    payload = {"format": _FORMAT_VERSION, "result": result_to_dict(result)}
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=str(directory)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, _entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return
+    stats["stores"] += 1
+
+
+def clear() -> int:
+    """Delete every cache entry; returns the number removed."""
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    for path in directory.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def reset_stats() -> None:
+    stats["hits"] = stats["misses"] = stats["stores"] = 0

@@ -187,8 +187,13 @@ class Simulator:
             destination = self._ideal_rr % self.config.stacks.n_stacks
             self._ideal_rr += 1
             # Ideal offload ignores conditions: with zero overhead every
-            # candidate instance benefits (Figure 2's premise).
-            decision = self.system.controller.decide(
+            # candidate instance benefits (Figure 2's premise). The
+            # decision itself is foregone (no dynamic control, condition
+            # stripped => always offload) but the call must still happen:
+            # it increments the per-stack pending count that
+            # ``complete()`` later decrements, and it keeps
+            # candidates_considered honest for the offload summary.
+            self.system.controller.decide(
                 dataclasses.replace(entry, condition=None), destination, None
             )
             yield from self._run_offloaded(sm, segment, entry, destination, ideal=True)

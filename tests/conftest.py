@@ -4,6 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(monkeypatch, tmp_path):
+    """Point the persistent result cache at a per-test directory so
+    tests exercise the cache code without sharing state with the user's
+    real cache (or with each other — several tests monkeypatch simulator
+    internals, and their results must never leak across tests)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
 from repro import TraceScale, baseline_config, build_trace, ndp_config
 from repro.isa import KernelBuilder
 from repro.trace.generator import TraceModel

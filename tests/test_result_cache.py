@@ -1,0 +1,183 @@
+"""Tests for the persistent result cache (repro.core.result_cache).
+
+Every test runs against a per-test ``REPRO_CACHE_DIR`` (the autouse
+fixture in conftest.py), so nothing touches the user's real cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import TraceScale, WorkloadRunner, ndp_config
+from repro.analysis.export import result_from_dict, result_to_dict
+from repro.analysis.figures import run_figure8_suite
+from repro.core import result_cache
+from repro.core.policies import NDP_CTRL_BMAP
+from repro.core.simulator import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    result_cache.reset_stats()
+
+
+def _key(policy=NDP_CTRL_BMAP, seed=0, scale=TraceScale.TINY, config=None):
+    config = config or ndp_config()
+    return result_cache.cache_key(
+        workload="SP",
+        policy_label=policy.label,
+        scale=scale,
+        seed=seed,
+        trace_config=config,
+        run_config=config,
+    )
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert _key() == _key()
+
+    def test_seed_scale_policy_sensitivity(self):
+        baseline = _key()
+        assert _key(seed=1) != baseline
+        assert _key(scale=TraceScale.SMALL) != baseline
+
+    def test_config_change_invalidates(self):
+        assert _key(config=ndp_config(warp_capacity_multiplier=2)) != _key()
+
+    def test_code_version_in_key(self, monkeypatch):
+        baseline = _key()
+        monkeypatch.setattr(result_cache, "code_version", lambda: "different")
+        assert _key() != baseline
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+
+    def test_dict_round_trip_is_lossless(self, result):
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_store_load_round_trip(self, result):
+        key = _key()
+        result_cache.store(key, result)
+        loaded = result_cache.load(key)
+        assert loaded == result
+        assert loaded is not result
+
+    def test_survives_json_serialization(self, result):
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(payload) == result
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        first = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        assert result_cache.stats["stores"] >= 1
+        hits_before = result_cache.stats["hits"]
+        # A fresh runner has an empty in-memory cache: the hit below can
+        # only come from disk.
+        second = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        assert result_cache.stats["hits"] == hits_before + 1
+        assert first == second
+
+    def test_hit_skips_simulation(self, monkeypatch):
+        WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+
+        def boom(self):
+            raise AssertionError("cache hit must not simulate")
+
+        monkeypatch.setattr(Simulator, "run", boom)
+        WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+
+    def test_hit_skips_trace_build(self, monkeypatch):
+        """On a full cache hit the trace is never generated."""
+        WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        import repro.core.experiment as experiment
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache hit must not build a trace")
+
+        monkeypatch.setattr(experiment, "build_trace", boom)
+        WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+
+    def test_config_change_misses(self, monkeypatch):
+        WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        ran = []
+        original = Simulator.run
+
+        def spy(self):
+            ran.append(True)
+            return original(self)
+
+        monkeypatch.setattr(Simulator, "run", spy)
+        WorkloadRunner(
+            "SP",
+            scale=TraceScale.TINY,
+            ndp_configuration=ndp_config(warp_capacity_multiplier=2),
+        ).run(NDP_CTRL_BMAP)
+        assert ran, "changed config must invalidate the cached result"
+
+    def test_ad_hoc_workload_objects_stay_off_disk(self, monkeypatch):
+        """Only name-reconstructible (string) workloads use the
+        persistent cache."""
+        from repro import make_workload
+
+        stores_before = result_cache.stats["stores"]
+        WorkloadRunner(make_workload("SP"), scale=TraceScale.TINY).run(
+            NDP_CTRL_BMAP
+        )
+        assert result_cache.stats["stores"] == stores_before
+
+
+class TestDisableAndCorruption:
+    def test_no_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not result_cache.enabled()
+        WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        assert result_cache.stats["stores"] == 0
+        assert result_cache.stats["hits"] == 0
+
+    def test_corrupt_entry_is_a_miss(self):
+        result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        key = _key()
+        result_cache.store(key, result)
+        path = result_cache.cache_dir() / f"{key}.json"
+        path.write_text("{ not json")
+        assert result_cache.load(key) is None
+        assert not path.exists(), "corrupt entries are dropped"
+
+    def test_stale_format_is_a_miss(self):
+        result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        key = _key()
+        result_cache.store(key, result)
+        path = result_cache.cache_dir() / f"{key}.json"
+        payload = json.loads(path.read_text())
+        payload["format"] = -1
+        path.write_text(json.dumps(payload))
+        assert result_cache.load(key) is None
+
+    def test_clear(self):
+        result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        result_cache.store(_key(), result)
+        assert result_cache.clear() >= 1
+        assert result_cache.load(_key()) is None
+
+
+class TestWarmSuiteRunsNothing:
+    def test_warm_figure8_suite_zero_simulator_runs(self, monkeypatch):
+        """Acceptance criterion: after one cold run, a warm-cache
+        ``run_figure8_suite()`` completes with zero ``Simulator.run()``
+        calls (and zero trace builds)."""
+        cold = run_figure8_suite(scale=TraceScale.TINY, seed=0)
+
+        def boom(self):
+            raise AssertionError("warm suite must not simulate")
+
+        monkeypatch.setattr(Simulator, "run", boom)
+        warm = run_figure8_suite(scale=TraceScale.TINY, seed=0)
+        assert warm == cold
