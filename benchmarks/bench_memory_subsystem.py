@@ -1,0 +1,141 @@
+"""Memory-subsystem fast-path throughput (lines/second).
+
+Not one of the paper's figures: this is the tracked perf baseline for
+the batched data path — allocation-table lookups, cache batch
+accounting, and vault batch booking are the three per-line costs every
+simulated access pays, so run this before and after touching
+``repro.memory`` and compare lines/sec per component.
+
+The synthetic streams mirror what the simulator actually issues: warp
+accesses of up to 32 coalesced lines, line addresses spread across
+allocations/sets/vaults the way vault interleaving and the bump
+allocator spread them, with a fixed RNG seed so runs are comparable.
+
+Standalone usage (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_memory_subsystem.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.config import ndp_config
+from repro.memory.allocation import MemoryAllocationTable
+from repro.memory.cache import Cache
+from repro.memory.dram import MemoryStack
+from repro.utils.simcore import Engine
+
+N_ACCESSES = 5_000
+LINE_BYTES = 128
+REPEATS = 3
+
+
+def _access_stream(rng: np.random.Generator, span_lines: int) -> List[List[int]]:
+    """Warp-shaped groups of line addresses: mostly short runs of
+    consecutive lines (coalesced loads) with a random-gather tail."""
+    accesses: List[List[int]] = []
+    for _ in range(N_ACCESSES):
+        n_lines = int(rng.integers(1, 33))
+        if rng.random() < 0.5:
+            first = int(rng.integers(0, span_lines - 32))
+            lines = [(first + i) * LINE_BYTES for i in range(n_lines)]
+        else:
+            picks = rng.integers(0, span_lines, size=n_lines)
+            lines = sorted({int(p) * LINE_BYTES for p in picks})
+        accesses.append(lines)
+    return accesses
+
+
+def bench_allocation_lookup() -> Tuple[float, int]:
+    """Lookups/sec against a paper-sized (tens of entries) table."""
+    table = MemoryAllocationTable()
+    for i in range(40):
+        table.allocate(f"array{i}", (i % 7 + 1) * 64 * 1024)
+    rng = np.random.default_rng(0)
+    span = table._next - (1 << 28)
+    addresses = ((1 << 28) + rng.integers(0, span, size=50_000)).tolist()
+    best = 0.0
+    for _ in range(REPEATS):
+        table._page_memo.clear()
+        start = time.perf_counter()
+        for address in addresses:
+            table.lookup(address)
+        elapsed = time.perf_counter() - start
+        best = max(best, len(addresses) / elapsed)
+    return best, len(addresses)
+
+
+def bench_cache_batch() -> Tuple[float, int]:
+    """Lines/sec through ``load_misses`` + ``store_batch`` on an
+    L1-sized cache, the two calls the simulator's access paths make."""
+    rng = np.random.default_rng(1)
+    accesses = _access_stream(rng, span_lines=16_384)
+    line_ids = [[line >> 7 for line in lines] for lines in accesses]
+    total_lines = sum(len(lines) for lines in accesses)
+    best = 0.0
+    for _ in range(REPEATS):
+        cache = Cache(size_bytes=32 * 1024, ways=4, line_bytes=LINE_BYTES, name="l1")
+        start = time.perf_counter()
+        for i, lines in enumerate(accesses):
+            ids = line_ids[i]
+            if i % 4 == 0:
+                cache.store_batch(ids)
+            else:
+                cache.load_misses(lines, ids)
+        elapsed = time.perf_counter() - start
+        best = max(best, total_lines / elapsed)
+    return best, total_lines
+
+
+def bench_vault_batch() -> Tuple[float, int]:
+    """Lines/sec booked through the stack's batched service entry
+    points (``service_interleaved`` — the ideal-colocation path — and
+    single-vault ``service_batch``)."""
+    config = ndp_config()
+    rng = np.random.default_rng(2)
+    accesses = _access_stream(rng, span_lines=1 << 20)
+    total_lines = sum(len(lines) for lines in accesses)
+    line_bits = 7
+    best = 0.0
+    for _ in range(REPEATS):
+        stack = MemoryStack(Engine(), 0, config)
+        start = time.perf_counter()
+        for i, lines in enumerate(accesses):
+            if i % 8 == 0:
+                stack.service_batch(0, lines, LINE_BYTES)
+            else:
+                stack.service_interleaved(lines, LINE_BYTES, line_bits)
+        elapsed = time.perf_counter() - start
+        best = max(best, total_lines / elapsed)
+    return best, total_lines
+
+
+def _report() -> Dict[str, float]:
+    results: Dict[str, float] = {}
+    for label, fn in (
+        ("allocation lookup", bench_allocation_lookup),
+        ("cache batch", bench_cache_batch),
+        ("vault batch", bench_vault_batch),
+    ):
+        rate, units = fn()
+        results[label] = rate
+        print(f"{label:>18}: {rate:,.0f} lines/sec ({units} lines, best of {REPEATS})")
+    return results
+
+
+def test_memory_subsystem_throughput(benchmark):
+    results = benchmark.pedantic(_report, rounds=1, iterations=1)
+    # Sanity floors only — the numbers to watch are the printed rates.
+    assert all(rate > 10_000 for rate in results.values())
+
+
+def main() -> None:
+    _report()
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,7 @@ pay off (footnote 2 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,10 +20,16 @@ from ..utils.bitops import ilog2
 
 @dataclass(frozen=True)
 class CoalescedAccess:
-    """Unique line-start byte addresses touched by one warp instruction."""
+    """Unique line-start byte addresses touched by one warp instruction.
+
+    ``line_ids`` carries the corresponding line ids (address shifted
+    right by the coalescer's line bits) — the merge computes them
+    anyway, and handing them to the trace keeps the simulator from
+    re-deriving them per access at run time."""
 
     line_addresses: Tuple[int, ...]
     active_lanes: int
+    line_ids: Tuple[int, ...] = ()
 
     @property
     def n_lines(self) -> int:
@@ -44,22 +50,37 @@ class Coalescer:
         self.warp_accesses = 0
         self.total_lines = 0
 
-    def coalesce(self, lane_addresses: np.ndarray) -> CoalescedAccess:
+    def coalesce(
+        self, lane_addresses: Union[np.ndarray, List[int]]
+    ) -> CoalescedAccess:
         """Merge per-lane byte addresses into unique line addresses.
 
         ``lane_addresses`` holds one byte address per active lane
-        (inactive lanes are simply absent).
+        (inactive lanes are simply absent) — either an ndarray or an
+        already-native list (the patterns' ``lane_address_list`` fast
+        path). A warp has at most 32 lanes, so the merge runs as plain
+        Python over native ints — a set + sort; at this size that
+        beats ``np.unique`` and the extra ufunc round-trips by a wide
+        margin, and produces the same sorted unique lines.
         """
-        if lane_addresses.size == 0:
+        if isinstance(lane_addresses, np.ndarray):
+            addresses = lane_addresses.tolist()
+        else:
+            addresses = lane_addresses
+        if not addresses:
             raise TraceError("coalescing an access with no active lanes")
-        if np.any(lane_addresses < 0):
+        line_bits = self.line_bits
+        lines = sorted({address >> line_bits for address in addresses})
+        # Arithmetic shift keeps the sign, so the smallest line is
+        # negative exactly when some address was.
+        if lines[0] < 0:
             raise TraceError("negative address in warp access")
-        lines = np.unique(lane_addresses >> self.line_bits) << self.line_bits
         self.warp_accesses += 1
-        self.total_lines += int(lines.size)
+        self.total_lines += len(lines)
         return CoalescedAccess(
-            line_addresses=tuple(int(a) for a in lines),
-            active_lanes=int(lane_addresses.size),
+            line_addresses=tuple([line << line_bits for line in lines]),
+            active_lanes=len(addresses),
+            line_ids=tuple(lines),
         )
 
     @property

@@ -18,7 +18,9 @@ addresses, which is exactly the granularity every downstream consumer
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..errors import TraceError
 
@@ -37,10 +39,34 @@ class WarpAccess:
             raise TraceError(f"access {self.access_id} has no lines")
         if self.active_lanes < 1:
             raise TraceError(f"access {self.access_id} has no active lanes")
+        # Created eagerly so the hot ``line_ids`` lookup is a plain
+        # dict probe with no exception handling on its first call.
+        object.__setattr__(self, "_line_ids_cache", {})
 
     @property
     def n_lines(self) -> int:
         return len(self.line_addresses)
+
+    def line_array(self) -> np.ndarray:
+        """The line addresses as a read-only int64 array, built once —
+        the routing fast path hands this straight to the vectorized
+        ``AddressMapping`` calls on every replay of the access."""
+        try:
+            return self._line_array_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            array = np.asarray(self.line_addresses, dtype=np.int64)
+            array.setflags(write=False)
+            object.__setattr__(self, "_line_array_cache", array)
+            return array
+
+    def line_ids(self, line_bits: int) -> Tuple[int, ...]:
+        """Cache-line ids (address >> line_bits), cached per shift."""
+        cache: Dict[int, Tuple[int, ...]] = self._line_ids_cache  # type: ignore[attr-defined]
+        ids = cache.get(line_bits)
+        if ids is None:
+            ids = tuple([address >> line_bits for address in self.line_addresses])
+            cache[line_bits] = ids
+        return ids
 
 
 @dataclass(frozen=True)
@@ -89,10 +115,34 @@ class CandidateSegment:
         return sum(1 for a in self.accesses if a.is_store)
 
     def all_line_addresses(self) -> List[int]:
-        lines: List[int] = []
-        for access in self.accesses:
-            lines.extend(access.line_addresses)
-        return lines
+        """Every line address of the instance, in access order. Cached:
+        the analyzer re-reads this for every learning observation and
+        the offload path for every decision, so it is built once (a
+        fresh list copy is returned each call to keep mutation safe)."""
+        return list(self._all_lines())
+
+    def line_address_array(self) -> np.ndarray:
+        """``all_line_addresses`` as a read-only int64 array, built once
+        per segment — what the memory-map analyzer's vectorized mapping
+        sweep consumes directly."""
+        try:
+            return self._line_array_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            array = np.asarray(self._all_lines(), dtype=np.int64)
+            array.setflags(write=False)
+            object.__setattr__(self, "_line_array_cache", array)
+            return array
+
+    def _all_lines(self) -> Tuple[int, ...]:
+        try:
+            return self._all_lines_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            lines: List[int] = []
+            for access in self.accesses:
+                lines.extend(access.line_addresses)
+            cached = tuple(lines)
+            object.__setattr__(self, "_all_lines_cache", cached)
+            return cached
 
 
 Segment = Union[PlainSegment, CandidateSegment]

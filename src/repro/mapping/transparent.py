@@ -156,10 +156,9 @@ def colocation_under_mapping(
     total = 0.0
     counted = 0
     for segment in instances:
-        lines = segment.all_line_addresses()
-        if not lines:
+        addresses = segment.line_address_array()
+        if addresses.size == 0:
             continue
-        addresses = np.asarray(lines, dtype=np.int64)
         stacks = mapping.stack_of(addresses)
         counts = np.bincount(stacks, minlength=n_stacks)
         total += counts.max() / addresses.size

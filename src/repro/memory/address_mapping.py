@@ -52,6 +52,22 @@ class AddressMapping:
     def vault_of(self, address: Address) -> Address:
         raise NotImplementedError
 
+    # Batch routing: one call per coalesced access group instead of one
+    # per line. The default loops over the scalar hooks; the concrete
+    # mappings override with flat arithmetic loops — for the short
+    # (1-32 line) groups the simulator routes, a plain Python loop over
+    # native ints beats ufunc dispatch on a freshly built array.
+
+    def stack_of_many(self, addresses: Sequence[int]) -> List[int]:
+        """Stack index of every address, in order."""
+        stack_of = self.stack_of
+        return [int(stack_of(address)) for address in addresses]
+
+    def vault_of_many(self, addresses: Sequence[int]) -> List[int]:
+        """Vault index of every address, in order."""
+        vault_of = self.vault_of
+        return [int(vault_of(address)) for address in addresses]
+
     def location(self, address: int) -> tuple:
         return int(self.stack_of(address)), int(self.vault_of(address))
 
@@ -73,16 +89,41 @@ class BaselineMapping(AddressMapping):
     #: large power-of-two factors still permute across stacks
     _FOLD_POSITIONS = (9, 13, 17)
 
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        self._folds = self._FOLD_POSITIONS[: config.mapping.xor_folds]
+        self._stack_mask = (1 << self.stack_bits) - 1
+        self._vault_mask = (1 << self.vault_bits) - 1
+
     def stack_of(self, address: Address) -> Address:
         line = address >> self.line_bits
         index = bit_slice(line, 0, self.stack_bits)
-        for position in self._FOLD_POSITIONS[: self.config.mapping.xor_folds]:
+        for position in self._folds:
             index = index ^ bit_slice(line, position, self.stack_bits)
         return index
 
     def vault_of(self, address: Address) -> Address:
         line = address >> self.line_bits
         return bit_slice(line, self.stack_bits, self.vault_bits)
+
+    def stack_of_many(self, addresses: Sequence[int]) -> List[int]:
+        line_bits = self.line_bits
+        mask = self._stack_mask
+        folds = self._folds
+        out: List[int] = []
+        append = out.append
+        for address in addresses:
+            line = address >> line_bits
+            index = line & mask
+            for position in folds:
+                index ^= (line >> position) & mask
+            append(index)
+        return out
+
+    def vault_of_many(self, addresses: Sequence[int]) -> List[int]:
+        shift = self.line_bits + self.stack_bits
+        mask = self._vault_mask
+        return [(address >> shift) & mask for address in addresses]
 
     def describe(self) -> str:
         return (
@@ -120,6 +161,18 @@ class ConsecutiveBitMapping(AddressMapping):
             low = self.stack_bits
         return bit_slice(line, low, self.vault_bits)
 
+    def stack_of_many(self, addresses: Sequence[int]) -> List[int]:
+        position = self.position
+        mask = (1 << self.stack_bits) - 1
+        return [(address >> position) & mask for address in addresses]
+
+    def vault_of_many(self, addresses: Sequence[int]) -> List[int]:
+        shift = self.line_bits
+        if self.position == self.line_bits:
+            shift += self.stack_bits
+        mask = (1 << self.vault_bits) - 1
+        return [(address >> shift) & mask for address in addresses]
+
     def describe(self) -> str:
         return f"consecutive-bit[{self.position}:{self.position + self.stack_bits}]"
 
@@ -140,13 +193,19 @@ class HybridMapping(AddressMapping):
         self.baseline = BaselineMapping(config)
         self.candidate_pages = candidate_pages if candidate_pages is not None else set()
         self.page_bits = ilog2(config.mapping.page_bytes)
+        self._page_lut: Optional[np.ndarray] = None
 
     def _is_candidate(self, address: Address) -> Address:
         page = address >> self.page_bits
         if isinstance(page, np.ndarray):
             if not self.candidate_pages:
                 return np.zeros(page.shape, dtype=bool)
-            lut = np.array(sorted(self.candidate_pages), dtype=np.int64)
+            # The page set is fixed at construction; the sorted lookup
+            # table is built once and reused by every routed access.
+            lut = self._page_lut
+            if lut is None or lut.size != len(self.candidate_pages):
+                lut = np.array(sorted(self.candidate_pages), dtype=np.int64)
+                self._page_lut = lut
             idx = np.searchsorted(lut, page)
             idx = np.clip(idx, 0, len(lut) - 1)
             return lut[idx] == page
@@ -167,6 +226,47 @@ class HybridMapping(AddressMapping):
                 mask, self.learned.vault_of(address), self.baseline.vault_of(address)
             )
         return self.learned.vault_of(address) if mask else self.baseline.vault_of(address)
+
+    def stack_of_many(self, addresses: Sequence[int]) -> List[int]:
+        pages = self.candidate_pages
+        if not pages:
+            return self.baseline.stack_of_many(addresses)
+        page_bits = self.page_bits
+        position = self.learned.position
+        stack_mask = (1 << self.stack_bits) - 1
+        line_bits = self.line_bits
+        folds = self.baseline._folds
+        out: List[int] = []
+        append = out.append
+        for address in addresses:
+            if (address >> page_bits) in pages:
+                append((address >> position) & stack_mask)
+            else:
+                line = address >> line_bits
+                index = line & stack_mask
+                for fold in folds:
+                    index ^= (line >> fold) & stack_mask
+                append(index)
+        return out
+
+    def vault_of_many(self, addresses: Sequence[int]) -> List[int]:
+        pages = self.candidate_pages
+        if not pages:
+            return self.baseline.vault_of_many(addresses)
+        page_bits = self.page_bits
+        vault_mask = (1 << self.vault_bits) - 1
+        learned_shift = self.line_bits
+        if self.learned.position == self.line_bits:
+            learned_shift += self.stack_bits
+        baseline_shift = self.line_bits + self.stack_bits
+        out: List[int] = []
+        append = out.append
+        for address in addresses:
+            if (address >> page_bits) in pages:
+                append((address >> learned_shift) & vault_mask)
+            else:
+                append((address >> baseline_shift) & vault_mask)
+        return out
 
     def describe(self) -> str:
         return (

@@ -16,8 +16,9 @@ property Section 3.2.1's fixed-offset analysis relies on.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..errors import AllocationError
 from ..utils.bitops import align_up
@@ -50,9 +51,19 @@ class MemoryAllocationTable:
 
     def __init__(self, page_bytes: int = 4096, base_address: int = 1 << 28) -> None:
         self.page_bytes = page_bytes
+        self._page_shift = page_bytes.bit_length() - 1
+        if (1 << self._page_shift) != page_bytes:
+            self._page_shift = None  # non-power-of-two pages: memo disabled
         self._next = align_up(base_address, page_bytes)
         self._ranges: List[AllocationRange] = []
         self._by_name: Dict[str, AllocationRange] = {}
+        # The bump allocator appends in ascending address order, so
+        # ``_starts`` mirrors ``_ranges`` and stays sorted; ``lookup``
+        # bisects it instead of scanning. ``_page_memo`` caches the
+        # range (or None) intersecting each queried page — guard pages
+        # guarantee no two ranges share a page, so one entry suffices.
+        self._starts: List[int] = []
+        self._page_memo: Dict[int, Optional[AllocationRange]] = {}
 
     def allocate(self, name: str, length: int, guard_pages: int = 1) -> AllocationRange:
         """Reserve ``length`` bytes, page-aligned, with ``guard_pages``
@@ -69,14 +80,51 @@ class MemoryAllocationTable:
         entry = AllocationRange(name=name, start=self._next, length=length)
         self._ranges.append(entry)
         self._by_name[name] = entry
+        self._starts.append(entry.start)
+        self._page_memo.clear()  # negative entries may now be stale
         self._next = align_up(entry.end, self.page_bytes) + guard_pages * self.page_bytes
         return entry
 
     def lookup(self, address: int) -> Optional[AllocationRange]:
-        for entry in self._ranges:
-            if entry.contains(address):
+        """Range containing ``address`` — O(log n) bisect on the sorted
+        starts, memoized per page.
+
+        The memo caches the range *intersecting* the queried page (not
+        the result for the queried address): a range may end mid-page,
+        and caching a miss from the uncovered tail would wrongly shadow
+        later hits on the covered head of the same page."""
+        shift = self._page_shift
+        if shift is not None:
+            page = address >> shift
+            try:
+                entry = self._page_memo[page]
+            except KeyError:
+                entry = self._range_intersecting_page(page)
+                self._page_memo[page] = entry
+            if entry is not None and entry.contains(address):
                 return entry
-        return None
+            return None
+        return self._lookup_bisect(address)
+
+    def _range_intersecting_page(self, page: int) -> Optional[AllocationRange]:
+        """The unique range overlapping ``page``, or None. Starts are
+        page-aligned and guard pages keep ranges from sharing a page,
+        so the only candidate is the last range starting at or before
+        the page's end."""
+        shift = self._page_shift
+        page_start = page << shift
+        index = bisect_right(self._starts, page_start + self.page_bytes - 1) - 1
+        if index < 0:
+            return None
+        entry = self._ranges[index]
+        return entry if entry.end > page_start else None
+
+    def _lookup_bisect(self, address: int) -> Optional[AllocationRange]:
+        index = bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        entry = self._ranges[index]
+        return entry if entry.contains(address) else None
 
     def __getitem__(self, name: str) -> AllocationRange:
         try:
@@ -102,6 +150,18 @@ class MemoryAllocationTable:
             return False
         entry.accessed_by_candidate = True
         return True
+
+    def mark_candidates(self, addresses: Iterable[int]) -> int:
+        """Bulk :meth:`mark_candidate` over an address stream (one
+        analyzer observation's page-deduplicated addresses); returns how
+        many addresses landed inside a recorded range."""
+        marked = 0
+        for address in addresses:
+            entry = self.lookup(address)
+            if entry is not None:
+                entry.accessed_by_candidate = True
+                marked += 1
+        return marked
 
     def candidate_ranges(self) -> List[AllocationRange]:
         return [r for r in self._ranges if r.accessed_by_candidate]

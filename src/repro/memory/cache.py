@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Sequence, Set
 
 from ..errors import ConfigError
 from ..utils.bitops import ilog2, is_power_of_two
@@ -71,27 +71,91 @@ class Cache:
 
     def load(self, line_id: int) -> bool:
         """Access for a load; returns hit, allocating on miss."""
-        cache_set = self._set_of(line_id)
-        if line_id in cache_set:
-            cache_set.move_to_end(line_id)
-            self.stats.load_hits += 1
-            return True
-        self.stats.load_misses += 1
-        cache_set[line_id] = True
-        if len(cache_set) > self.ways:
-            cache_set.popitem(last=False)
-        return False
+        return self.load_batch((line_id,))[0]
+
+    def load_batch(self, line_ids: Sequence[int]) -> List[bool]:
+        """One warp access's loads, in lane order: per-line hit flags
+        with exactly the LRU updates and stats the scalar loop produced.
+        All sequencing state lives in locals; stats are folded in once."""
+        sets = self._sets
+        set_mask = self._set_mask
+        ways = self.ways
+        hits = 0
+        misses = 0
+        flags: List[bool] = []
+        append = flags.append
+        for line_id in line_ids:
+            cache_set = sets[line_id & set_mask]
+            if line_id in cache_set:
+                cache_set.move_to_end(line_id)
+                hits += 1
+                append(True)
+            else:
+                misses += 1
+                cache_set[line_id] = True
+                if len(cache_set) > ways:
+                    cache_set.popitem(last=False)
+                append(False)
+        self.stats.load_hits += hits
+        self.stats.load_misses += misses
+        return flags
+
+    def load_misses(
+        self, lines: Sequence[int], line_ids: Sequence[int]
+    ) -> "tuple[List[int], List[int]]":
+        """Fused variant of :meth:`load_batch` for the simulator's miss
+        path: walks ``line_ids`` with the same LRU updates and stats and
+        returns ``(miss_lines, miss_line_ids)`` — the entries of the
+        parallel ``lines``/``line_ids`` sequences that missed, in access
+        order — without materializing the hit-flag list."""
+        sets = self._sets
+        set_mask = self._set_mask
+        ways = self.ways
+        hits = 0
+        miss_lines: List[int] = []
+        miss_ids: List[int] = []
+        for line, line_id in zip(lines, line_ids):
+            cache_set = sets[line_id & set_mask]
+            if line_id in cache_set:
+                cache_set.move_to_end(line_id)
+                hits += 1
+            else:
+                miss_lines.append(line)
+                miss_ids.append(line_id)
+                cache_set[line_id] = True
+                if len(cache_set) > ways:
+                    cache_set.popitem(last=False)
+        self.stats.load_hits += hits
+        self.stats.load_misses += len(miss_ids)
+        return miss_lines, miss_ids
 
     def store(self, line_id: int) -> bool:
         """Access for a store (write-through no-allocate); returns hit."""
-        cache_set = self._set_of(line_id)
-        self._dirty_since_collect.add(line_id)
-        if line_id in cache_set:
-            cache_set.move_to_end(line_id)
-            self.stats.store_hits += 1
-            return True
-        self.stats.store_misses += 1
-        return False
+        return self.store_batch((line_id,))[0]
+
+    def store_batch(self, line_ids: Sequence[int]) -> List[bool]:
+        """One warp access's stores, in lane order (write-through
+        no-allocate); per-line hit flags, bit-identical to scalar."""
+        sets = self._sets
+        set_mask = self._set_mask
+        dirty = self._dirty_since_collect
+        hits = 0
+        misses = 0
+        flags: List[bool] = []
+        append = flags.append
+        for line_id in line_ids:
+            cache_set = sets[line_id & set_mask]
+            dirty.add(line_id)
+            if line_id in cache_set:
+                cache_set.move_to_end(line_id)
+                hits += 1
+                append(True)
+            else:
+                misses += 1
+                append(False)
+        self.stats.store_hits += hits
+        self.stats.store_misses += misses
+        return flags
 
     def contains(self, line_id: int) -> bool:
         return line_id in self._set_of(line_id)

@@ -67,10 +67,9 @@ class MemoryMapAnalyzer:
 
     def observe(self, segment: CandidateSegment) -> None:
         """Record one candidate instance's accesses (learning phase)."""
-        lines = segment.all_line_addresses()
-        if not lines:
+        addresses = segment.line_address_array()
+        if addresses.size == 0:
             return
-        addresses = np.asarray(lines, dtype=np.int64)
         for position, mapping in zip(self.positions, self._mappings):
             stacks = mapping.stack_of(addresses)
             counts = np.bincount(stacks, minlength=self.config.stacks.n_stacks)
@@ -78,8 +77,9 @@ class MemoryMapAnalyzer:
             self._modal_stack_counts[position][int(counts.argmax())] += 1
         self.instances_observed += 1
         if self.allocation_table is not None:
-            for address in self._representative_addresses(addresses):
-                self.allocation_table.mark_candidate(int(address))
+            self.allocation_table.mark_candidates(
+                self._representative_addresses(addresses).tolist()
+            )
 
     @staticmethod
     def _representative_addresses(addresses: np.ndarray) -> np.ndarray:

@@ -28,6 +28,7 @@ from ..gpu.coalescer import Coalescer
 from ..gpu.warp import CandidateSegment, PlainSegment, WarpAccess, WarpTask
 from ..isa.kernel import Kernel
 from ..memory.allocation import MemoryAllocationTable
+from ..utils.gcguard import gc_paused
 from .patterns import AccessContext, Pattern
 
 
@@ -141,29 +142,34 @@ def build_trace(
     instance_counter = 0
     tasks: List[WarpTask] = []
 
-    for warp_id in range(n_warps):
-        lanes = model.active_lanes(warp_id, rng)
-        if not 1 <= lanes <= config.gpu.warp_size:
-            raise TraceError(f"active_lanes returned {lanes}")
-        lane_ids = np.arange(lanes, dtype=np.int64)
-        segments = []
-        for region in regions:
-            if region.block_id is None:
-                segments.append(
-                    _plain_segment(
-                        model, kernel, region, patterns, coalescer, warp_id,
-                        instance_counter, total_instances, lane_ids, rng,
+    # Trace generation allocates one frozen dataclass per access plus
+    # numpy temporaries per warp instruction; pausing automatic GC for
+    # the build (as Simulator.run does for the event loop) avoids
+    # repeated whole-heap scans of objects that are all still live.
+    with gc_paused():
+        for warp_id in range(n_warps):
+            lanes = model.active_lanes(warp_id, rng)
+            if not 1 <= lanes <= config.gpu.warp_size:
+                raise TraceError(f"active_lanes returned {lanes}")
+            lane_ids = np.arange(lanes, dtype=np.int64)
+            segments = []
+            for region in regions:
+                if region.block_id is None:
+                    segments.append(
+                        _plain_segment(
+                            model, kernel, region, patterns, coalescer, warp_id,
+                            instance_counter, total_instances, lane_ids, rng,
+                        )
                     )
-                )
-            else:
-                segments.append(
-                    _candidate_segment(
-                        model, kernel, selection, region, patterns, coalescer,
-                        warp_id, instance_counter, total_instances, lane_ids, rng,
+                else:
+                    segments.append(
+                        _candidate_segment(
+                            model, kernel, selection, region, patterns, coalescer,
+                            warp_id, instance_counter, total_instances, lane_ids, rng,
+                        )
                     )
-                )
-                instance_counter += 1
-        tasks.append(WarpTask(warp_id=warp_id, segments=tuple(segments)))
+                    instance_counter += 1
+            tasks.append(WarpTask(warp_id=warp_id, segments=tuple(segments)))
 
     return WorkloadTrace(
         workload_name=model.name,
@@ -234,6 +240,7 @@ def _accesses_for_range(
         for i in range(start, end)
         if kernel.instructions[i].is_global_memory
     ]
+    line_bits = coalescer.line_bits
     for iteration in range(iterations):
         ctx = AccessContext(
             warp_id=warp_id,
@@ -247,15 +254,17 @@ def _accesses_for_range(
         )
         for instr in mem_instrs:
             pattern = patterns[instr.access_id]
-            coalesced = coalescer.coalesce(pattern.lane_addresses(ctx))
-            accesses.append(
-                WarpAccess(
-                    access_id=instr.access_id,
-                    is_store=instr.is_store,
-                    line_addresses=coalesced.line_addresses,
-                    active_lanes=coalesced.active_lanes,
-                )
+            coalesced = coalescer.coalesce(pattern.lane_address_list(ctx))
+            access = WarpAccess(
+                access_id=instr.access_id,
+                is_store=instr.is_store,
+                line_addresses=coalesced.line_addresses,
+                active_lanes=coalesced.active_lanes,
             )
+            # Pre-seed the line-id cache with the ids the merge already
+            # produced, so the simulator's first lookup is a dict hit.
+            access._line_ids_cache[line_bits] = coalesced.line_ids
+            accesses.append(access)
     return accesses
 
 

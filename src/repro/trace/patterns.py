@@ -28,8 +28,8 @@ exhibit (Section 3.2.1 / Figure 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
@@ -49,6 +49,16 @@ class AccessContext:
     lane_ids: np.ndarray  # active lane indices, subset of [0, warp_size)
     rng: np.random.Generator
     warp_size: int = 32
+    _lane_id_list: Optional[List[int]] = field(default=None, init=False, repr=False)
+
+    def lane_id_list(self) -> List[int]:
+        """``lane_ids`` as native ints, converted once per context —
+        what the pure-Python ``lane_address_list`` fast paths iterate."""
+        ids = self._lane_id_list
+        if ids is None:
+            ids = self.lane_ids.tolist()
+            self._lane_id_list = ids
+        return ids
 
 
 class Pattern:
@@ -81,6 +91,16 @@ class Pattern:
 
     def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
         raise NotImplementedError
+
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        """Per-lane byte addresses as a list of native ints.
+
+        The trace generator's hot path: a warp has at most 32 lanes,
+        where plain Python integer arithmetic beats ufunc dispatch on a
+        freshly built array, so the concrete patterns override this
+        with flat loops producing exactly
+        ``lane_addresses(ctx).tolist()`` (this default fallback)."""
+        return self.lane_addresses(ctx).tolist()
 
 
 class LinearPattern(Pattern):
@@ -120,6 +140,21 @@ class LinearPattern(Pattern):
         )
         return self._to_addresses(index)
 
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        span = (
+            self.span_elements
+            if self.span_elements is not None
+            else ctx.total_iterations * ctx.warp_size
+        )
+        first = ctx.warp_id * span + ctx.iteration * ctx.warp_size + self.offset_elements
+        n = self.n_elements
+        base = self.base
+        element_bytes = self.element_bytes
+        return [
+            base + ((first + lane) % n) * element_bytes
+            for lane in ctx.lane_id_list()
+        ]
+
 
 class StridedPattern(Pattern):
     """Lanes ``stride_elements`` apart (column-major / tree patterns)."""
@@ -137,6 +172,17 @@ class StridedPattern(Pattern):
         index = block + ctx.lane_ids * self.stride_elements
         return self._to_addresses(index)
 
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        block = ctx.warp_id * ctx.total_iterations + ctx.iteration
+        stride = self.stride_elements
+        n = self.n_elements
+        base = self.base
+        element_bytes = self.element_bytes
+        return [
+            base + ((block + lane * stride) % n) * element_bytes
+            for lane in ctx.lane_id_list()
+        ]
+
 
 class RandomPattern(Pattern):
     """Uniform random gather over the array."""
@@ -144,6 +190,16 @@ class RandomPattern(Pattern):
     def lane_addresses(self, ctx: AccessContext) -> np.ndarray:
         index = ctx.rng.integers(0, self.n_elements, size=ctx.lane_ids.size)
         return self._to_addresses(index)
+
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        # The rng draw is identical to lane_addresses' (same call, same
+        # arguments), so the generator stream — and therefore every
+        # downstream pattern decision — is unchanged.
+        n = self.n_elements
+        index = ctx.rng.integers(0, n, size=ctx.lane_ids.size).tolist()
+        base = self.base
+        element_bytes = self.element_bytes
+        return [base + (i % n) * element_bytes for i in index]
 
 
 class LocalRandomPattern(Pattern):
@@ -163,6 +219,18 @@ class LocalRandomPattern(Pattern):
         offsets = ctx.rng.integers(0, self.window_elements, size=ctx.lane_ids.size)
         return self._to_addresses(window_base + offsets)
 
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        n = self.n_elements
+        window_base = (ctx.warp_id * self.window_elements) % n
+        offsets = ctx.rng.integers(
+            0, self.window_elements, size=ctx.lane_ids.size
+        ).tolist()
+        base = self.base
+        element_bytes = self.element_bytes
+        return [
+            base + ((window_base + offset) % n) * element_bytes for offset in offsets
+        ]
+
 
 class BroadcastPattern(Pattern):
     """All lanes read the same (iteration-selected) small record."""
@@ -177,6 +245,12 @@ class BroadcastPattern(Pattern):
         record = ctx.iteration % max(1, self.n_elements // max(1, self.record_elements))
         index = np.full(ctx.lane_ids.size, record * self.record_elements, dtype=np.int64)
         return self._to_addresses(index)
+
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        n = self.n_elements
+        record = ctx.iteration % max(1, n // max(1, self.record_elements))
+        address = self.base + ((record * self.record_elements) % n) * self.element_bytes
+        return [address] * ctx.lane_ids.size
 
 
 class ButterflyPattern(Pattern):
@@ -201,6 +275,21 @@ class ButterflyPattern(Pattern):
         )
         partner = np.bitwise_xor(base_index, 1 << stage)
         return self._to_addresses(partner)
+
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        stage = 5 + (ctx.instance_index % self.n_stages)
+        bit = 1 << stage
+        first = (
+            ctx.warp_id * ctx.total_iterations * ctx.warp_size
+            + ctx.iteration * ctx.warp_size
+        )
+        n = self.n_elements
+        base = self.base
+        element_bytes = self.element_bytes
+        return [
+            base + (((first + lane) ^ bit) % n) * element_bytes
+            for lane in ctx.lane_id_list()
+        ]
 
 
 class MixturePattern(Pattern):
@@ -229,6 +318,11 @@ class MixturePattern(Pattern):
             return self.random.lane_addresses(ctx)
         return self.regular.lane_addresses(ctx)
 
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        if ctx.rng.random() < self.p_random:
+            return self.random.lane_address_list(ctx)
+        return self.regular.lane_address_list(ctx)
+
 
 class PhaseShiftPattern(Pattern):
     """``early`` for the first ``shift_at`` fraction of candidate
@@ -254,3 +348,8 @@ class PhaseShiftPattern(Pattern):
         progress = ctx.instance_index / max(1, ctx.total_instances)
         chosen = self.early if progress < self.shift_at else self.late
         return chosen.lane_addresses(ctx)
+
+    def lane_address_list(self, ctx: AccessContext) -> List[int]:
+        progress = ctx.instance_index / max(1, ctx.total_instances)
+        chosen = self.early if progress < self.shift_at else self.late
+        return chosen.lane_address_list(ctx)
