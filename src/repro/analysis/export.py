@@ -1,6 +1,7 @@
 """Machine-readable exports: JSON for simulation results, CSV for
-figures, and a bundle writer that materializes every reproduced figure
-into a directory (text + CSV side by side) for downstream plotting.
+figures, JSONL/CSV for observability traces (see :mod:`repro.obs`),
+and a bundle writer that materializes every reproduced figure into a
+directory (text + CSV side by side) for downstream plotting.
 """
 
 from __future__ import annotations
@@ -114,6 +115,75 @@ def result_from_dict(payload: Dict) -> SimulationResult:
 
 def result_to_json(result: SimulationResult, indent: int = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def trace_to_jsonl(events: Iterable) -> str:
+    """One JSON object per line, one line per trace event (the
+    :mod:`repro.obs.events` schema); inverse of
+    :func:`trace_from_jsonl`."""
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events
+    )
+
+
+def trace_from_jsonl(text: str) -> List:
+    """Parse a JSONL trace back into event objects; blank lines are
+    skipped, malformed lines raise (a truncated trace should be loud)."""
+    from ..obs.events import event_from_dict
+
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def write_trace_jsonl(events: Iterable, path: str) -> int:
+    """Write a trace to ``path``; returns the number of events."""
+    events = list(events)
+    with open(path, "w") as handle:
+        handle.write(trace_to_jsonl(events))
+    return len(events)
+
+
+def read_trace_jsonl(path: str) -> List:
+    with open(path) as handle:
+        return trace_from_jsonl(handle.read())
+
+
+def trace_samples_to_csv(events: Iterable) -> str:
+    """The trace's :class:`~repro.obs.events.MetricSample` time series
+    as CSV — one row per window, one column per channel/metric — for
+    plotting per-channel utilization timelines outside the CLI."""
+    samples = [event for event in events if event.kind == "sample"]
+    if not samples:
+        raise AnalysisError("trace contains no metric samples")
+    n_channels = len(samples[0].tx_utilization)
+    n_stacks = len(samples[0].vault_backlog)
+    header = (
+        ["time", "window"]
+        + [f"tx{i}_util" for i in range(n_channels)]
+        + [f"rx{i}_util" for i in range(n_channels)]
+        + ["pcie_util"]
+        + [f"stack{i}_vault_backlog" for i in range(n_stacks)]
+        + [f"stack{i}_dram_requests" for i in range(n_stacks)]
+        + ["l1_load_hit_rate", "l2_load_hit_rate"]
+    )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for sample in samples:
+        writer.writerow(
+            [sample.time, sample.window]
+            + list(sample.tx_utilization)
+            + list(sample.rx_utilization)
+            + [sample.pcie_utilization]
+            + list(sample.vault_backlog)
+            + list(sample.dram_requests)
+            + [sample.l1_load_hit_rate, sample.l2_load_hit_rate]
+        )
+    return buffer.getvalue()
 
 
 def figure_to_csv(figure: FigureResult) -> str:

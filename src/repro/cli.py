@@ -16,6 +16,15 @@ Subcommands::
     repro-tom inspect LIB
         Dump a workload's kernel and the compiler's offload analysis.
 
+    repro-tom run LIB --policy ctrl+tmap --trace lib.jsonl
+        Same simulation with the observability layer on: every offload
+        decision, learning-phase outcome, access routing, and windowed
+        channel metrics land in lib.jsonl (docs/OBSERVABILITY.md).
+
+    repro-tom report lib.jsonl
+        Render a trace: decision breakdown, learned-mapping scores,
+        stack-routing matrix, per-channel utilization timeline.
+
 Exit code 0 on success; errors print to stderr and exit 2.
 """
 
@@ -64,6 +73,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="SMALL", choices=[s.name for s in TraceScale])
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a structured event trace (JSONL) of the policy run",
+    )
+    run.add_argument(
+        "--trace-window",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="metric sample window in cycles (default: the channel "
+        "busy monitor's window)",
+    )
 
     suite = sub.add_parser("suite", help="Figure 8 policy grid over the suite")
     suite.add_argument("--scale", default="SMALL", choices=[s.name for s in TraceScale])
@@ -78,6 +101,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="kernel + compiler analysis dump")
     inspect.add_argument("workload", choices=SUITE_ORDER)
+
+    report = sub.add_parser(
+        "report", help="render a recorded trace (see: run --trace)"
+    )
+    report.add_argument("trace", help="JSONL trace written by run --trace")
+    report.add_argument(
+        "--width", type=int, default=60, help="timeline width in columns"
+    )
+    report.add_argument(
+        "--samples-csv",
+        metavar="PATH",
+        default=None,
+        help="also write the metric-sample time series as CSV",
+    )
 
     bundle = sub.add_parser(
         "bundle", help="write every figure (txt+csv+json) into a directory"
@@ -94,7 +131,22 @@ def _cmd_run(args) -> None:
     )
     policy = _POLICIES[args.policy]
     baseline = runner.baseline()
-    result = runner.run(policy)
+    recorder = None
+    if args.trace:
+        from .obs import TraceRecorder
+
+        recorder = TraceRecorder(sample_window=args.trace_window)
+        recorder.set_run(args.workload, policy.label, args.scale, args.seed)
+    result = runner.run(policy, recorder=recorder)
+    if recorder is not None:
+        from .analysis.export import write_trace_jsonl
+
+        n_events = write_trace_jsonl(recorder.events(), args.trace)
+        dropped = sum(recorder.dropped.values())
+        note = f" ({dropped} dropped by ring buffers)" if dropped else ""
+        print(
+            f"trace: {n_events} events -> {args.trace}{note}", file=sys.stderr
+        )
     if getattr(args, "json", False):
         from .analysis.export import result_to_dict
         import json as _json
@@ -179,6 +231,22 @@ def _cmd_inspect(args) -> None:
         print(f"  rejected: {reason}")
 
 
+def _cmd_report(args) -> None:
+    from .analysis.export import read_trace_jsonl, trace_samples_to_csv
+    from .errors import AnalysisError
+    from .obs import render_report
+
+    try:
+        events = read_trace_jsonl(args.trace)
+    except OSError as error:
+        raise AnalysisError(f"cannot read trace {args.trace!r}: {error}")
+    print(render_report(events, width=args.width))
+    if args.samples_csv:
+        with open(args.samples_csv, "w") as handle:
+            handle.write(trace_samples_to_csv(events))
+        print(f"samples csv -> {args.samples_csv}", file=sys.stderr)
+
+
 def _cmd_bundle(args) -> None:
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
@@ -201,6 +269,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "suite": _cmd_suite,
             "figure": _cmd_figure,
             "inspect": _cmd_inspect,
+            "report": _cmd_report,
             "bundle": _cmd_bundle,
         }[args.command](args)
     except ReproError as error:

@@ -87,10 +87,20 @@ class WorkloadRunner:
         configuration: Optional[SystemConfig] = None,
         oracle_position: Optional[int] = None,
         cache: bool = True,
+        recorder=None,
     ) -> SimulationResult:
         """Simulate one policy; results are cached per policy label in
         memory (unless a custom configuration is supplied) and in the
-        persistent on-disk cache (for registered suite workloads)."""
+        persistent on-disk cache (for registered suite workloads).
+
+        Passing an enabled ``recorder`` (:class:`repro.obs.TraceRecorder`)
+        bypasses both caches — a cache hit would return a result without
+        producing the event trace the recorder exists to capture — and
+        does not store the result, so traced runs never perturb cached
+        figure state."""
+        tracing = recorder is not None and recorder.enabled
+        if tracing:
+            cache = False
         custom = configuration is not None
         key = policy.label
         if cache and not custom and key in self._cache:
@@ -112,7 +122,7 @@ class WorkloadRunner:
                     self._cache[key] = hit
                 return hit
         result = Simulator(
-            self.trace, configuration, policy, oracle_position
+            self.trace, configuration, policy, oracle_position, recorder=recorder
         ).run()
         if persistent_key is not None:
             result_cache.store(persistent_key, result)

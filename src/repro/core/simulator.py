@@ -25,6 +25,12 @@ learned hybrid mapping goes live (the delayed host-to-device copy the
 paper piggybacks on is not charged, matching Section 4.3 step 5).
 
 Fidelity notes (vs. the paper's GPGPU-Sim setup) are in DESIGN.md §4.
+
+Observability: pass a :class:`repro.obs.TraceRecorder` to record every
+offload decision, learning-phase outcome, per-access stack routing,
+and windowed channel metrics as a structured event trace (see
+``docs/OBSERVABILITY.md``); without one, the hooks are no-ops behind a
+null recorder and results are bit-identical.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from ..memory.address_mapping import (
     ConsecutiveBitMapping,
     HybridMapping,
 )
+from ..obs.recorder import NULL_RECORDER
 from ..trace.generator import WorkloadTrace
 from ..utils.bitops import ilog2
 from ..utils.gcguard import gc_paused
@@ -65,18 +72,30 @@ class Simulator:
         config: SystemConfig,
         policy: RunPolicy,
         oracle_position: Optional[int] = None,
+        recorder=None,
     ) -> None:
         self.trace = trace
         self.config = config
         self.policy = policy
-        self.system = NDPSystem(config, policy)
+        # Observability (opt-in): the recorder defaults to the shared
+        # null object, whose hooks are no-ops — every instrumentation
+        # site below gates on the precomputed ``_trace_on`` bool, so an
+        # untraced run pays one branch per hook and stays bit-identical.
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._trace_on = self._recorder.enabled
+        self.system = NDPSystem(config, policy, recorder=self._recorder)
+        if self._trace_on:
+            self._recorder.bind(self.system.engine, self.system, config)
         self.line_bits = ilog2(config.messages.cache_line_bytes)
 
         self._tmap: Optional[TransparentDataMapping] = None
         self._static_mapping: AddressMapping = BaselineMapping(config)
         if policy.mapping is MappingPolicy.TMAP:
             self._tmap = TransparentDataMapping(
-                config, trace.allocation_table, trace.total_candidate_instances
+                config,
+                trace.allocation_table,
+                trace.total_candidate_instances,
+                recorder=self._recorder,
             )
         elif policy.mapping is MappingPolicy.ORACLE:
             # Oracle mapping (Figure 3): the best consecutive-bit stack
@@ -258,6 +277,12 @@ class Simulator:
             return
 
         groups = self._group_by_stack(off_chip)
+        if self._trace_on:
+            self._recorder.access(
+                "gpu",
+                access.is_store,
+                {stack: len(group) for stack, group in groups.items()},
+            )
         engine = self.system.engine
         procs = [
             engine.process(
@@ -397,10 +422,20 @@ class Simulator:
             return
         if ideal:
             # Perfect co-location: every line is served by the home stack.
+            if self._trace_on:
+                self._recorder.access(
+                    f"stack{home}", access.is_store, {home: len(off_chip)}
+                )
             yield from self._dram_service_local(home, off_chip)
             return
 
         groups = self._group_by_stack(off_chip)
+        if self._trace_on:
+            self._recorder.access(
+                f"stack{home}",
+                access.is_store,
+                {stack: len(group) for stack, group in groups.items()},
+            )
         engine = self.system.engine
         procs = []
         for stack, group in groups.items():
@@ -552,6 +587,7 @@ def simulate(
     config: SystemConfig,
     policy: RunPolicy,
     oracle_position: Optional[int] = None,
+    recorder=None,
 ) -> SimulationResult:
     """Convenience one-shot API."""
-    return Simulator(trace, config, policy, oracle_position).run()
+    return Simulator(trace, config, policy, oracle_position, recorder=recorder).run()

@@ -21,6 +21,7 @@ from ..ndp.coherence import CoherenceProtocol
 from ..ndp.controller import OffloadController
 from ..ndp.monitor import ChannelBusyMonitor
 from ..ndp.translation import StackTranslation
+from ..obs.recorder import NULL_RECORDER
 from ..utils.simcore import Engine, SlotPool
 from .policies import OffloadPolicy, RunPolicy
 
@@ -47,7 +48,9 @@ class _IssueBacklogSignal:
 class NDPSystem:
     """All hardware state for one run."""
 
-    def __init__(self, config: SystemConfig, policy: RunPolicy) -> None:
+    def __init__(
+        self, config: SystemConfig, policy: RunPolicy, recorder=NULL_RECORDER
+    ) -> None:
         if policy.offloads and not config.ndp_enabled:
             raise ConfigError(
                 f"policy {policy.label!r} offloads but the configuration is "
@@ -89,6 +92,7 @@ class NDPSystem:
             self.monitor,
             dynamic_control=policy.dynamic_control,
             issue_monitors=issue_monitors,
+            recorder=recorder,
         )
         self.coherence = CoherenceProtocol(config)
         self.translations: Optional[List[StackTranslation]] = None

@@ -37,6 +37,7 @@ from ..memory.address_mapping import (
 )
 from ..memory.allocation import MemoryAllocationTable
 from ..ndp.analyzer import LearnedMapping, MemoryMapAnalyzer
+from ..obs.recorder import NULL_RECORDER
 
 
 class MappingPhase(enum.Enum):
@@ -54,9 +55,11 @@ class TransparentDataMapping:
         config: SystemConfig,
         allocation_table: MemoryAllocationTable,
         total_candidate_instances: int,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.config = config
         self.allocation_table = allocation_table
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
         self.analyzer = MemoryMapAnalyzer(config, allocation_table)
         # Target: learn_fraction of all instances, floored at
         # min_learn_instances — but capped at ~1.5% of the trace so that
@@ -99,6 +102,13 @@ class TransparentDataMapping:
 
     def _finalize(self) -> None:
         self.learned = self.analyzer.best_mapping()
+        if self._recorder.enabled:
+            self._recorder.learning(
+                position=self.learned.position,
+                colocation=self.learned.colocation,
+                instances_observed=self.learned.instances_observed,
+                scores=self.learned.per_position_colocation,
+            )
         if self.learned.colocation >= self.config.control.min_learned_colocation:
             learned_mapping = ConsecutiveBitMapping(self.config, self.learned.position)
             self._mapping = HybridMapping(

@@ -1,4 +1,16 @@
-"""NDP hardware: offload controller, busy monitor, map analyzer, coherence."""
+"""TOM's NDP hardware (Figure 7), one module per component:
+
+* :mod:`.controller` — offload controller, §3.3 dynamic control;
+* :mod:`.monitor` — channel busy monitor, §3.3's channel feedback;
+* :mod:`.analyzer` — memory map analyzer, §3.2 learning (§4.3 hardware);
+* :mod:`.coherence` — offload coherence protocol, §4.4.2;
+* :mod:`.translation` — stack-SM address translation, §4.4.1.
+
+The compiler side of §3.1 lives in :mod:`repro.compiler`; the runtime
+driver of §3.2's learning phase in :mod:`repro.mapping.transparent`.
+All components report their decisions to the observability layer
+(:mod:`repro.obs`) when tracing is enabled.
+"""
 
 from .analyzer import (
     BITS_PER_INSTANCE,

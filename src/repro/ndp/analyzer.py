@@ -1,4 +1,6 @@
-"""The Memory Map Analyzer (component 3 in Figure 7, Section 4.3).
+"""The Memory Map Analyzer (component 3 in Figure 7) — implements the
+learning half of Section 3.2's programmer-transparent data mapping
+(the Section 4.3 hardware realization).
 
 During the learning phase the analyzer watches every offloading
 candidate instance's memory accesses and, for each potential stack

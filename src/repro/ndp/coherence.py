@@ -1,4 +1,6 @@
-"""The three-step offload coherence protocol (Section 4.4.2).
+"""The three-step offload coherence protocol — implements Section
+4.4.2, the cache-coherence support Section 3.1's transparent offloading
+requires.
 
 GPU caches are write-through, and the programming model guarantees no
 cross-CTA ordering without explicit synchronization (which candidate

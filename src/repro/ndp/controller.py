@@ -1,5 +1,6 @@
 """The Offload Controller (component 1 in Figure 7) with dynamic
-offloading-aggressiveness control (Section 3.3).
+offloading-aggressiveness control — implements Section 3.3 (and the
+Section 4.2 hardware realization of its three checks).
 
 For every candidate-block instance the controller makes the final
 offload decision in three steps (Section 4.2, 'Dynamic offloading
@@ -30,6 +31,7 @@ from typing import Dict, List, Optional
 from ..compiler.metadata import MetadataEntry
 from ..config import SystemConfig
 from ..errors import SimulationError
+from ..obs.recorder import NULL_RECORDER
 from .monitor import ChannelBusyMonitor
 
 
@@ -64,6 +66,7 @@ class OffloadController:
         monitor: Optional[ChannelBusyMonitor],
         dynamic_control: bool,
         issue_monitors: Optional[List] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.config = config
         self.monitor = monitor
@@ -74,6 +77,8 @@ class OffloadController:
         self.pending: List[int] = [0] * config.stacks.n_stacks
         self.max_pending = config.stack_warp_slots * config.stacks.sms_per_stack
         self.decisions: Dict[DecisionReason, int] = {r: 0 for r in DecisionReason}
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        self._trace_on = self._recorder.enabled
 
     def decide(
         self,
@@ -82,6 +87,19 @@ class OffloadController:
         condition_value: Optional[int],
     ) -> OffloadDecision:
         """The three-step dynamic decision of Section 4.2."""
+        decision = self._decide(entry, destination, condition_value)
+        if self._trace_on:
+            self._recorder.decision(
+                entry.block_id, destination, decision.reason.value, condition_value
+            )
+        return decision
+
+    def _decide(
+        self,
+        entry: MetadataEntry,
+        destination: int,
+        condition_value: Optional[int],
+    ) -> OffloadDecision:
         if not 0 <= destination < len(self.pending):
             raise SimulationError(f"offload destination {destination} out of range")
 

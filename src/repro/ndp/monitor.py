@@ -1,4 +1,5 @@
-"""The Channel Busy Monitor (component 2 in Figure 7).
+"""The Channel Busy Monitor (component 2 in Figure 7) — implements the
+channel-feedback half of Section 3.3's dynamic offloading control.
 
 Tracks windowed utilization of each off-chip TX/RX channel; when the
 utilization of a channel over the last window exceeds the configured

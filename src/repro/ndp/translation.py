@@ -1,4 +1,6 @@
-"""Virtual address translation on the stack SMs (Section 4.4.1).
+"""Virtual address translation on the stack SMs — implements Section
+4.4.1, the address-translation support Section 3.1's transparent
+offloading requires.
 
 The paper equips logic-layer SMs with small TLBs and MMUs (1-2K
 flip-flops, <2% of a stack SM's area) and notes two consequences this

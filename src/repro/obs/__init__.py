@@ -1,0 +1,58 @@
+"""Observability layer: structured tracing for TOM's runtime decisions.
+
+TOM's mechanisms are decisions made over time — the offload controller
+accepting or refusing candidates against channel-busy and warp-slot
+limits (§3.3), the learning phase scoring consecutive-bit positions and
+picking the stack-index bits (§3.2), every access being routed to a
+stack by the live mapping (§3.2.1) — yet a
+:class:`~repro.core.results.SimulationResult` only shows end-of-run
+aggregates. This package records those decision points as structured
+events, opt-in and bit-identical-when-off:
+
+* :mod:`.events` — the event schema (decision, learning, access
+  routing, windowed metric samples);
+* :mod:`.recorder` — :class:`NullRecorder` (default, a true no-op) and
+  :class:`TraceRecorder` (per-category ring buffers);
+* :mod:`.sampler` — lazy windowed sampling of channel utilization,
+  vault backlog, and cache hit rates (§3.3's monitored quantities);
+* :mod:`.report` — the `repro-tom report` text rendering.
+
+Entry points: ``repro-tom run ... --trace out.jsonl`` then
+``repro-tom report out.jsonl``; or programmatically::
+
+    from repro import WorkloadRunner, TOM, TraceScale
+    from repro.obs import TraceRecorder
+
+    recorder = TraceRecorder()
+    runner = WorkloadRunner("LIB", scale=TraceScale.SMALL)
+    result = runner.run(TOM, recorder=recorder)
+    assert recorder.decision_counts() == result.offload.decision_breakdown
+
+Schema and workflow: ``docs/OBSERVABILITY.md``.
+"""
+
+from .events import (
+    AccessEvent,
+    DecisionEvent,
+    LearningEvent,
+    MetricSample,
+    RunInfo,
+    event_from_dict,
+)
+from .recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from .report import render_report
+from .sampler import MetricSampler
+
+__all__ = [
+    "AccessEvent",
+    "DecisionEvent",
+    "LearningEvent",
+    "MetricSample",
+    "MetricSampler",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "RunInfo",
+    "TraceRecorder",
+    "event_from_dict",
+    "render_report",
+]

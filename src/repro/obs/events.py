@@ -1,0 +1,153 @@
+"""Structured trace events: the observability layer's schema.
+
+Implements the observation side of the paper's runtime mechanisms:
+every event corresponds to one decision point of §3.2-§3.3 (offload
+decisions with their :class:`~repro.ndp.controller.DecisionReason`,
+the learning phase's per-bit-position co-location scores and chosen
+stack-index bits, per-access stack routing) or to one windowed sample
+of the hardware state those decisions read (channel utilization as
+seen by the §3.3 busy monitor, vault backlog, cache hit rates).
+
+Each event is a small frozen dataclass with a ``kind`` tag and a
+lossless dict form (:meth:`to_dict` / :func:`event_from_dict`), which
+is what the JSONL exporter in :mod:`repro.analysis.export` writes one
+line per event. The full schema is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Identity of the traced run; always the first event of a trace."""
+
+    kind = "run"
+    workload: str
+    policy: str
+    scale: str
+    seed: int
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One offload-controller verdict (§3.3 / §4.2 three-step decision).
+
+    ``reason`` is the :class:`~repro.ndp.controller.DecisionReason`
+    value string; ``destination`` is the stack the candidate *would*
+    have gone to, recorded even for refusals so rejection spikes can be
+    attributed to a channel.
+    """
+
+    kind = "decision"
+    time: float
+    block_id: int
+    destination: int
+    reason: str
+    condition_value: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class LearningEvent:
+    """The learning phase's outcome (§3.2.2/§4.3): per-consecutive-bit
+    position mean co-location scores and the chosen position."""
+
+    kind = "learning"
+    time: float
+    position: int
+    colocation: float
+    instances_observed: int
+    #: bit position -> mean co-location over the observed instances
+    scores: Dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        payload = {"kind": self.kind, **asdict(self)}
+        # JSON object keys are strings; keep them numeric-sortable.
+        payload["scores"] = {str(k): v for k, v in self.scores.items()}
+        return payload
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """Stack routing of one warp access's off-chip lines (§3.2's
+    co-location in action): how many lines landed on each stack, and
+    from where (``origin`` is ``"gpu"``, ``"stack<N>"``, or
+    ``"pcie"`` during the learning phase)."""
+
+    kind = "access"
+    time: float
+    origin: str
+    is_store: bool
+    #: stack index -> number of cache lines routed there
+    stacks: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_lines(self) -> int:
+        return sum(self.stacks.values())
+
+    def to_dict(self) -> Dict:
+        payload = {"kind": self.kind, **asdict(self)}
+        payload["stacks"] = {str(k): v for k, v in self.stacks.items()}
+        return payload
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One windowed sample of the hardware state (the time-series side
+    of the trace). Utilizations are busy-time fractions over the window
+    just ended — the same quantity the §3.3 channel busy monitor
+    thresholds, sampled independently so the monitor's own windows are
+    untouched."""
+
+    kind = "sample"
+    time: float
+    window: float
+    tx_utilization: Tuple[float, ...]
+    rx_utilization: Tuple[float, ...]
+    pcie_utilization: float
+    #: per-stack mean vault booked-ahead cycles at sample time
+    vault_backlog: Tuple[float, ...]
+    #: per-stack DRAM requests during the window
+    dram_requests: Tuple[int, ...]
+    l1_load_hit_rate: float
+    l2_load_hit_rate: float
+
+    def to_dict(self) -> Dict:
+        payload = {"kind": self.kind, **asdict(self)}
+        for key in ("tx_utilization", "rx_utilization", "vault_backlog", "dram_requests"):
+            payload[key] = list(payload[key])
+        return payload
+
+
+def event_from_dict(payload: Dict):
+    """Inverse of every event's ``to_dict``; raises
+    :class:`~repro.errors.AnalysisError` on unknown kinds."""
+    kind = payload.get("kind")
+    data = {k: v for k, v in payload.items() if k != "kind"}
+    if kind == "run":
+        return RunInfo(**data)
+    if kind == "decision":
+        return DecisionEvent(**data)
+    if kind == "learning":
+        data["scores"] = {int(k): v for k, v in data.get("scores", {}).items()}
+        return LearningEvent(**data)
+    if kind == "access":
+        data["stacks"] = {int(k): v for k, v in data.get("stacks", {}).items()}
+        return AccessEvent(**data)
+    if kind == "sample":
+        for key in ("tx_utilization", "rx_utilization", "vault_backlog"):
+            data[key] = tuple(float(v) for v in data[key])
+        data["dram_requests"] = tuple(int(v) for v in data["dram_requests"])
+        return MetricSample(**data)
+    raise AnalysisError(f"unknown trace event kind {kind!r}")

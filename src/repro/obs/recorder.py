@@ -1,0 +1,228 @@
+"""The trace recorder: null object + ring-buffered implementation.
+
+The simulator, offload controller (§3.3), and transparent-mapping
+runtime (§3.2) all hold a recorder and report their decision points to
+it. Two implementations:
+
+* :class:`NullRecorder` (``NULL_RECORDER`` singleton) — the default.
+  Every hook is a no-op and ``enabled`` is False, so instrumented hot
+  paths reduce to one pre-computed boolean test; results and timing are
+  bit-identical to an uninstrumented build (tested in
+  ``tests/test_obs.py``).
+* :class:`TraceRecorder` — opt-in (``repro run --trace``, or pass one
+  to :class:`~repro.core.simulator.Simulator` /
+  :meth:`~repro.core.experiment.WorkloadRunner.run`). Events land in
+  per-category ring buffers (``collections.deque`` with ``maxlen``) so
+  a flood of access events can never evict the decision or learning
+  events a debugging session is usually after; drops are counted and
+  reported, never silent.
+
+Recording is pure observation: it appends to Python lists and never
+schedules engine events or touches monitor state, so a traced run's
+:class:`~repro.core.results.SimulationResult` is bit-identical to the
+untraced run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import AnalysisError
+from .events import (
+    AccessEvent,
+    DecisionEvent,
+    LearningEvent,
+    MetricSample,
+    RunInfo,
+)
+from .sampler import MetricSampler
+
+#: Default ring capacities. Decisions and samples are sized to hold
+#: every event of even a LARGE-scale run; the access ring — the only
+#: high-volume category — is bounded lower and counts what it drops.
+DECISION_CAPACITY = 1 << 20
+ACCESS_CAPACITY = 1 << 18
+SAMPLE_CAPACITY = 1 << 16
+
+
+class NullRecorder:
+    """Do-nothing recorder; the default wired into every simulation."""
+
+    enabled = False
+
+    def bind(self, engine, system, config) -> None:  # pragma: no cover - no-op
+        pass
+
+    def set_run(self, workload: str, policy: str, scale: str, seed: int) -> None:
+        pass
+
+    def decision(
+        self,
+        block_id: int,
+        destination: int,
+        reason: str,
+        condition_value: Optional[int] = None,
+    ) -> None:
+        pass
+
+    def learning(
+        self,
+        position: int,
+        colocation: float,
+        instances_observed: int,
+        scores: Dict[int, float],
+    ) -> None:
+        pass
+
+    def access(self, origin: str, is_store: bool, stacks: Dict[int, int]) -> None:
+        pass
+
+    def events(self) -> List:
+        return []
+
+    def decision_counts(self) -> Dict[str, int]:
+        return {}
+
+
+#: Shared no-op instance; safe because it holds no state.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """Ring-buffered structured event trace for one simulation run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        decision_capacity: int = DECISION_CAPACITY,
+        access_capacity: int = ACCESS_CAPACITY,
+        sample_capacity: int = SAMPLE_CAPACITY,
+        sample_window: Optional[float] = None,
+    ) -> None:
+        self.run_info: Optional[RunInfo] = None
+        self.decisions: Deque[DecisionEvent] = deque(maxlen=decision_capacity)
+        self.accesses: Deque[AccessEvent] = deque(maxlen=access_capacity)
+        self.samples: Deque[MetricSample] = deque(maxlen=sample_capacity)
+        self.learnings: List[LearningEvent] = []
+        self.dropped: Dict[str, int] = {"decision": 0, "access": 0, "sample": 0}
+        self._sample_window = sample_window
+        self._engine = None
+        self._sampler: Optional[MetricSampler] = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind(self, engine, system, config) -> None:
+        """Attach to one simulation (called by the simulator before the
+        run starts). A recorder records exactly one run."""
+        if self._engine is not None:
+            raise AnalysisError("a TraceRecorder records exactly one run")
+        self._engine = engine
+        window = self._sample_window
+        if window is None:
+            window = float(config.control.monitor_window_cycles)
+        self._sampler = MetricSampler(engine, system, window)
+
+    def set_run(self, workload: str, policy: str, scale: str, seed: int) -> None:
+        self.run_info = RunInfo(
+            workload=workload, policy=policy, scale=scale, seed=seed
+        )
+
+    # -- hooks (called from instrumented hardware) ----------------------
+
+    def _now(self) -> float:
+        return self._engine.now if self._engine is not None else 0.0
+
+    def _tick(self) -> None:
+        if self._sampler is None:
+            return
+        sample = self._sampler.maybe_sample()
+        if sample is not None:
+            if len(self.samples) == self.samples.maxlen:
+                self.dropped["sample"] += 1
+            self.samples.append(sample)
+
+    def decision(
+        self,
+        block_id: int,
+        destination: int,
+        reason: str,
+        condition_value: Optional[int] = None,
+    ) -> None:
+        if len(self.decisions) == self.decisions.maxlen:
+            self.dropped["decision"] += 1
+        self.decisions.append(
+            DecisionEvent(
+                time=self._now(),
+                block_id=block_id,
+                destination=destination,
+                reason=reason,
+                condition_value=condition_value,
+            )
+        )
+        self._tick()
+
+    def learning(
+        self,
+        position: int,
+        colocation: float,
+        instances_observed: int,
+        scores: Dict[int, float],
+    ) -> None:
+        self.learnings.append(
+            LearningEvent(
+                time=self._now(),
+                position=position,
+                colocation=colocation,
+                instances_observed=instances_observed,
+                scores=dict(scores),
+            )
+        )
+
+    def access(self, origin: str, is_store: bool, stacks: Dict[int, int]) -> None:
+        if len(self.accesses) == self.accesses.maxlen:
+            self.dropped["access"] += 1
+        self.accesses.append(
+            AccessEvent(
+                time=self._now(),
+                origin=origin,
+                is_store=is_store,
+                stacks=stacks,
+            )
+        )
+        self._tick()
+
+    # -- reading back ---------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        return (
+            (1 if self.run_info else 0)
+            + len(self.learnings)
+            + len(self.decisions)
+            + len(self.accesses)
+            + len(self.samples)
+        )
+
+    def events(self) -> List:
+        """Every recorded event: run info first, then learning,
+        decision, access, and sample streams (each internally
+        time-ordered)."""
+        merged: List = []
+        if self.run_info is not None:
+            merged.append(self.run_info)
+        merged.extend(self.learnings)
+        merged.extend(self.decisions)
+        merged.extend(self.accesses)
+        merged.extend(self.samples)
+        return merged
+
+    def decision_counts(self) -> Dict[str, int]:
+        """Per-reason decision counts recomputed from the event stream —
+        must match ``OffloadController.decision_summary()`` exactly when
+        nothing was dropped."""
+        counts: Dict[str, int] = {}
+        for event in self.decisions:
+            counts[event.reason] = counts.get(event.reason, 0) + 1
+        return counts

@@ -1,0 +1,217 @@
+"""Text rendering for `repro-tom report`: trace -> human-readable view.
+
+Turns one run's event stream (see :mod:`repro.obs.events`) into the
+debugging surface the figures need: a per-run summary (offload-decision
+breakdown by :class:`~repro.ndp.controller.DecisionReason`, learning
+outcome with per-bit-position scores, stack-routing matrix) plus a
+per-channel utilization timeline rendered as fixed-width text, in the
+same spirit as :mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import AnalysisError
+from .events import (
+    AccessEvent,
+    DecisionEvent,
+    LearningEvent,
+    MetricSample,
+    RunInfo,
+)
+
+#: Utilization glyphs, lowest to highest; one column per time bucket.
+_LEVELS = " .:-=+*#%@"
+
+
+def _bucket(values: Sequence[float], width: int) -> List[float]:
+    """Average ``values`` down to at most ``width`` buckets."""
+    if len(values) <= width:
+        return list(values)
+    out: List[float] = []
+    n = len(values)
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render utilizations in [0, 1] as one glyph per time bucket."""
+    cells = []
+    for value in _bucket(values, width):
+        clamped = min(1.0, max(0.0, value))
+        cells.append(_LEVELS[min(len(_LEVELS) - 1, int(clamped * len(_LEVELS)))])
+    return "".join(cells)
+
+
+def _split(events: Iterable) -> Dict[str, List]:
+    groups: Dict[str, List] = {
+        "run": [], "decision": [], "learning": [], "access": [], "sample": []
+    }
+    for event in events:
+        groups[event.kind].append(event)
+    return groups
+
+
+def _decision_section(decisions: List[DecisionEvent]) -> List[str]:
+    lines = ["offload decisions"]
+    lines.append("-" * len(lines[0]))
+    if not decisions:
+        lines.append("  (none recorded — baseline or NDP-disabled run)")
+        return lines
+    counts: Dict[str, int] = {}
+    refused_per_stack: Dict[int, int] = {}
+    offloaded_per_stack: Dict[int, int] = {}
+    for event in decisions:
+        counts[event.reason] = counts.get(event.reason, 0) + 1
+        bucket = offloaded_per_stack if event.reason == "offloaded" else refused_per_stack
+        bucket[event.destination] = bucket.get(event.destination, 0) + 1
+    total = len(decisions)
+    offloaded = counts.get("offloaded", 0)
+    lines.append(f"  candidates considered : {total}")
+    lines.append(
+        f"  offloaded             : {offloaded} ({offloaded / total:.1%})"
+    )
+    for reason in sorted(counts, key=counts.get, reverse=True):
+        if reason == "offloaded":
+            continue
+        lines.append(f"  refused [{reason}]".ljust(32) + f": {counts[reason]}")
+    stacks = sorted(set(refused_per_stack) | set(offloaded_per_stack))
+    if stacks:
+        # Imported lazily: repro.analysis pulls in the figure drivers
+        # (and through them repro.core), while the instrumented hardware
+        # in repro.ndp imports this package — a module-level import here
+        # would close that cycle.
+        from ..analysis.reporting import format_table
+
+        rows = {
+            "offloaded": {f"stack{s}": float(offloaded_per_stack.get(s, 0)) for s in stacks},
+            "refused": {f"stack{s}": float(refused_per_stack.get(s, 0)) for s in stacks},
+        }
+        table = format_table(
+            "  per-destination", [f"stack{s}" for s in stacks], rows, "{:.0f}"
+        )
+        lines.extend("  " + line for line in table.splitlines()[2:])
+    return lines
+
+
+def _learning_section(learnings: List[LearningEvent]) -> List[str]:
+    if not learnings:
+        return []
+    lines = ["learned mapping (§3.2 learning phase)"]
+    lines.append("-" * len(lines[0]))
+    for event in learnings:
+        lines.append(
+            f"  chose consecutive-bit position {event.position} "
+            f"(co-location {event.colocation:.2f}) after "
+            f"{event.instances_observed} instances at cycle {event.time:.0f}"
+        )
+        if event.scores:
+            peak = max(event.scores.values())
+            for position in sorted(event.scores):
+                score = event.scores[position]
+                bar = "#" * max(1, round(24 * score / peak)) if peak > 0 else ""
+                marker = " <-- chosen" if position == event.position else ""
+                lines.append(f"    bit {position:>2d}  {score:5.2f}  {bar}{marker}")
+    return lines
+
+
+def _routing_section(accesses: List[AccessEvent]) -> List[str]:
+    if not accesses:
+        return []
+    from ..analysis.reporting import format_table  # see _decision_section
+
+    per_origin: Dict[str, Dict[int, int]] = {}
+    for event in accesses:
+        row = per_origin.setdefault(event.origin, {})
+        for stack, n_lines in event.stacks.items():
+            row[stack] = row.get(stack, 0) + n_lines
+    stacks = sorted({s for row in per_origin.values() for s in row})
+    columns = [f"stack{s}" for s in stacks]
+    rows = {
+        origin: {f"stack{s}": float(row.get(s, 0)) for s in stacks}
+        for origin, row in sorted(per_origin.items())
+    }
+    table = format_table(
+        "stack routing (off-chip lines per origin)", columns, rows, "{:.0f}"
+    )
+    return table.splitlines()
+
+
+def _timeline_section(samples: List[MetricSample], width: int) -> List[str]:
+    if not samples:
+        return []
+    lines = ["channel utilization timeline"]
+    lines.append("-" * len(lines[0]))
+    t0, t1 = samples[0].time, samples[-1].time
+    lines.append(
+        f"  {len(samples)} windows, cycles {t0:.0f} .. {t1:.0f} "
+        f"(glyphs '{_LEVELS}' = 0..100% busy)"
+    )
+    n_channels = len(samples[0].tx_utilization)
+    for direction, attribute in (("tx", "tx_utilization"), ("rx", "rx_utilization")):
+        for channel in range(n_channels):
+            series = [getattr(s, attribute)[channel] for s in samples]
+            mean = sum(series) / len(series)
+            lines.append(
+                f"  {direction}{channel}  |{sparkline(series, width)}| "
+                f"avg={mean:.2f} peak={max(series):.2f}"
+            )
+    pcie = [s.pcie_utilization for s in samples]
+    if max(pcie) > 0:
+        lines.append(
+            f"  pcie |{sparkline(pcie, width)}| "
+            f"avg={sum(pcie) / len(pcie):.2f} peak={max(pcie):.2f}"
+        )
+    backlog = [max(s.vault_backlog) for s in samples]
+    peak_backlog = max(backlog)
+    if peak_backlog > 0:
+        scaled = [value / peak_backlog for value in backlog]
+        lines.append(
+            f"  vault|{sparkline(scaled, width)}| "
+            f"peak backlog={peak_backlog:.0f} cycles (worst stack)"
+        )
+    hit_rates = [s.l2_load_hit_rate for s in samples]
+    lines.append(
+        f"  l2hit|{sparkline(hit_rates, width)}| "
+        f"avg={sum(hit_rates) / len(hit_rates):.2f}"
+    )
+    return lines
+
+
+def render_report(events: Iterable, width: int = 60) -> str:
+    """Render one trace's event stream as the `repro-tom report` text."""
+    groups = _split(list(events))
+    if not any(groups.values()):
+        raise AnalysisError("trace contains no events")
+    lines: List[str] = []
+    if groups["run"]:
+        info: RunInfo = groups["run"][0]
+        title = (
+            f"trace report — {info.workload} / {info.policy} "
+            f"({info.scale}, seed {info.seed})"
+        )
+    else:
+        title = "trace report"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append(
+        f"events: {len(groups['decision'])} decisions, "
+        f"{len(groups['access'])} accesses, {len(groups['sample'])} samples, "
+        f"{len(groups['learning'])} learning"
+    )
+    lines.append("")
+    lines.extend(_decision_section(groups["decision"]))
+    for section in (
+        _learning_section(groups["learning"]),
+        _routing_section(groups["access"]),
+        _timeline_section(groups["sample"], width),
+    ):
+        if section:
+            lines.append("")
+            lines.extend(section)
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Windowed metric sampling for traced runs.
+
+Produces the :class:`~repro.obs.events.MetricSample` time series: the
+same windowed channel-utilization quantity the §3.3 busy monitor
+thresholds, plus per-stack vault backlog / DRAM request counts and
+L1/L2 load hit rates — the hardware state behind every offload
+decision, as a timeline instead of an end-of-run aggregate.
+
+Two design constraints shape the implementation:
+
+* **No engine events.** A recurring sampler process would keep the
+  event heap alive forever (the engine runs until the heap drains), so
+  sampling is *lazy*: :meth:`MetricSampler.maybe_sample` is called from
+  the recorder's instrumentation points and emits a sample only when at
+  least one window has elapsed since the last. Quiet stretches with no
+  instrumented activity therefore produce no samples — a gap in the
+  timeline *is* the signal that nothing was being decided or routed.
+
+* **No shared monitor state.** The sampler keeps its own cumulative
+  busy-time snapshots (pure reads via
+  :meth:`~repro.utils.simcore.BandwidthResource.utilization_snapshot`)
+  instead of querying :class:`~repro.ndp.monitor.ChannelBusyMonitor`,
+  whose windowed caches are part of the simulated hardware — touching
+  them could change offload decisions and break the bit-identical
+  guarantee for traced runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .events import MetricSample
+
+
+class MetricSampler:
+    """Lazy windowed sampler over one :class:`~repro.core.system.NDPSystem`."""
+
+    def __init__(self, engine, system, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"sample window must be positive, got {window}")
+        self._engine = engine
+        self._system = system
+        self.window = float(window)
+        self._next_due = self.window
+        self._last_time = 0.0
+        fabric = system.fabric
+        self._tx = list(fabric.tx)
+        self._rx = list(fabric.rx)
+        self._tx_busy = [link.busy_time for link in self._tx]
+        self._rx_busy = [link.busy_time for link in self._rx]
+        self._pcie_busy = fabric.pcie.busy_time
+        self._stacks = list(system.stacks)
+        self._dram_requests = [stack.total_requests for stack in self._stacks]
+        self._main_sms = list(system.main_sms)
+        self._l1_hits, self._l1_loads = self._l1_counters()
+        self._l2_hits = system.l2.stats.load_hits
+        self._l2_loads = system.l2.stats.loads
+
+    def _l1_counters(self) -> Tuple[int, int]:
+        hits = sum(sm.l1.stats.load_hits for sm in self._main_sms)
+        loads = sum(sm.l1.stats.loads for sm in self._main_sms)
+        return hits, loads
+
+    def maybe_sample(self) -> Optional[MetricSample]:
+        """Emit one sample if a full window has elapsed, else None."""
+        now = self._engine.now
+        if now < self._next_due:
+            return None
+        sample = self._take(now)
+        self._next_due = now + self.window
+        return sample
+
+    @staticmethod
+    def _deltas(links, previous: List[float], elapsed: float) -> Tuple[float, ...]:
+        utilization = []
+        for index, link in enumerate(links):
+            _, busy = link.utilization_snapshot()
+            utilization.append(min(1.0, (busy - previous[index]) / elapsed))
+            previous[index] = busy
+        return tuple(utilization)
+
+    def _take(self, now: float) -> MetricSample:
+        elapsed = now - self._last_time
+        self._last_time = now
+        tx_utilization = self._deltas(self._tx, self._tx_busy, elapsed)
+        rx_utilization = self._deltas(self._rx, self._rx_busy, elapsed)
+        pcie = self._system.fabric.pcie
+        _, pcie_busy = pcie.utilization_snapshot()
+        pcie_utilization = min(1.0, (pcie_busy - self._pcie_busy) / elapsed)
+        self._pcie_busy = pcie_busy
+
+        backlog = []
+        requests = []
+        for index, stack in enumerate(self._stacks):
+            vaults = stack.vaults
+            backlog.append(
+                sum(vault.resource.queue_delay() for vault in vaults) / len(vaults)
+            )
+            total = stack.total_requests
+            requests.append(total - self._dram_requests[index])
+            self._dram_requests[index] = total
+
+        l1_hits, l1_loads = self._l1_counters()
+        window_l1_loads = l1_loads - self._l1_loads
+        l1_rate = (
+            (l1_hits - self._l1_hits) / window_l1_loads if window_l1_loads else 0.0
+        )
+        self._l1_hits, self._l1_loads = l1_hits, l1_loads
+
+        l2_stats = self._system.l2.stats
+        window_l2_loads = l2_stats.loads - self._l2_loads
+        l2_rate = (
+            (l2_stats.load_hits - self._l2_hits) / window_l2_loads
+            if window_l2_loads
+            else 0.0
+        )
+        self._l2_hits = l2_stats.load_hits
+        self._l2_loads = l2_stats.loads
+
+        return MetricSample(
+            time=now,
+            window=elapsed,
+            tx_utilization=tx_utilization,
+            rx_utilization=rx_utilization,
+            pcie_utilization=pcie_utilization,
+            vault_backlog=tuple(backlog),
+            dram_requests=tuple(requests),
+            l1_load_hit_rate=l1_rate,
+            l2_load_hit_rate=l2_rate,
+        )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Check that relative markdown links in the repo's documentation
+resolve to real files.
+
+Scans README.md, EXPERIMENTS.md, DESIGN.md, ROADMAP.md and docs/*.md
+for inline links (``[text](target)``) and bare code-span references to
+markdown files (`` `docs/FOO.md` ``), and fails if any target does not
+exist relative to the linking file or to the repo root. External
+(``http(s)://``) and pure-anchor (``#...``) targets are skipped; an
+anchor suffix on a file target is stripped before the existence check.
+
+Run from anywhere: ``python tools/check_links.py``. Exit code 0 when
+every link resolves, 1 otherwise (one line per broken link). Uses only
+the standard library so CI needs no extra installs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documentation scanned for links.
+DOC_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"]
+DOC_GLOBS = ["docs/*.md"]
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: `docs/FOO.md`-style prose references (optionally with a section
+#: suffix such as "DESIGN.md §2" — the suffix sits outside the span).
+CODE_SPAN_REF = re.compile(r"`([A-Za-z0-9_./-]+\.md)`")
+
+
+def iter_doc_files() -> list:
+    files = [REPO_ROOT / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return [f for f in files if f.exists()]
+
+
+def iter_targets(text: str):
+    """Yield (line_number, target) for every checkable reference."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE_LINK.finditer(line):
+            yield lineno, match.group(1)
+        for match in CODE_SPAN_REF.finditer(line):
+            yield lineno, match.group(1)
+
+
+def resolve(doc: Path, target: str) -> bool:
+    """True if `target` names a real file, relative to the linking
+    document's directory or to the repo root."""
+    path = target.split("#", 1)[0]
+    if not path:  # pure anchor
+        return True
+    candidates = [doc.parent / path, REPO_ROOT / path]
+    return any(c.exists() for c in candidates)
+
+
+def main() -> int:
+    broken = []
+    for doc in iter_doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for lineno, target in iter_targets(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not resolve(doc, target):
+                rel = doc.relative_to(REPO_ROOT)
+                broken.append(f"{rel}:{lineno}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(iter_doc_files())} documents: all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
