@@ -42,18 +42,24 @@ from .core import (
     NDP_NOCTRL_ORACLE,
     NDP_NOCTRL_TMAP,
     TOM,
+    JobFailure,
+    JobOutcome,
     MappingPolicy,
     OffloadPolicy,
     RunPolicy,
     SimulationResult,
     Simulator,
+    SuiteRunReport,
+    SupervisorConfig,
     WorkloadRunner,
     run_suite,
+    run_suite_supervised,
+    run_supervised,
     simulate,
     suite_ratios,
     suite_speedups,
 )
-from .errors import ReproError
+from .errors import JobExecutionError, ReproError
 from .trace.generator import TraceScale, WorkloadTrace, build_trace
 from .workloads import PAPER, SUITE_ORDER, full_suite, make_workload
 
@@ -63,6 +69,9 @@ __all__ = [
     "BASELINE",
     "FIGURE8_GRID",
     "IDEAL_NDP",
+    "JobExecutionError",
+    "JobFailure",
+    "JobOutcome",
     "MappingPolicy",
     "NDP_CTRL_BMAP",
     "NDP_CTRL_ORACLE",
@@ -77,6 +86,8 @@ __all__ = [
     "SUITE_ORDER",
     "SimulationResult",
     "Simulator",
+    "SuiteRunReport",
+    "SupervisorConfig",
     "SystemConfig",
     "TOM",
     "TraceScale",
@@ -88,6 +99,8 @@ __all__ = [
     "make_workload",
     "ndp_config",
     "run_suite",
+    "run_suite_supervised",
+    "run_supervised",
     "simulate",
     "suite_ratios",
     "suite_speedups",

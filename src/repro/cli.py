@@ -8,6 +8,14 @@ Subcommands::
     repro-tom suite --scale TINY
         Run the Figure 8 policy grid over the whole suite.
 
+    repro-tom suite --job-timeout 600 --max-retries 2 --manifest run.jsonl
+        The same grid under supervision: per-job timeout and retries,
+        and a JSONL run manifest streamed as each job lands. If jobs
+        fail permanently, the suite still completes with partial
+        results, prints a failure summary, and exits 3; a follow-up
+        with ``--resume --manifest run.jsonl`` re-runs only the
+        missing or failed points (docs/ROBUSTNESS.md).
+
     repro-tom figure fig8 [--scale SMALL]
         Regenerate one of the paper's figures as a text table
         (fig2 fig3 fig5 fig6 fig8 fig9 fig10 fig11 fig12 fig13
@@ -25,7 +33,9 @@ Subcommands::
         Render a trace: decision breakdown, learned-mapping scores,
         stack-routing matrix, per-channel utilization timeline.
 
-Exit code 0 on success; errors print to stderr and exit 2.
+Exit code 0 on success; errors print to stderr and exit 2; a suite run
+that completes with partial results (some jobs failed permanently)
+exits 3.
 """
 
 from __future__ import annotations
@@ -93,6 +103,31 @@ def _build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--seed", type=int, default=0)
     suite.add_argument(
         "--workloads", nargs="*", choices=SUITE_ORDER, default=None
+    )
+    suite.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout (default: REPRO_JOB_TIMEOUT, else none)",
+    )
+    suite.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failing job (default: REPRO_MAX_RETRIES, else 1)",
+    )
+    suite.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="stream per-job outcomes to a JSONL run manifest",
+    )
+    suite.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed points from --manifest; run only the rest",
     )
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -170,27 +205,56 @@ def _cmd_run(args) -> None:
         print(f"offload decisions    : {result.offload.decision_breakdown}")
 
 
-def _cmd_suite(args) -> None:
+def _cmd_suite(args) -> int:
     from .analysis.figures import figure8
-    from .core.experiment import run_suite
+    from .core.experiment import run_suite_supervised
 
-    results = run_suite(
+    if args.resume and not args.manifest:
+        raise ReproError("--resume requires --manifest PATH")
+    report = run_suite_supervised(
         FIGURE8_GRID,
         scale=TraceScale[args.scale],
         seed=args.seed,
         workloads=args.workloads,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        manifest_path=args.manifest,
+        resume=args.resume,
     )
-    if args.workloads:  # partial suite: print raw speedups
-        for name, per_policy in results.items():
-            base = per_policy["baseline"]
+    results = report.results
+
+    def print_speedups(names) -> None:
+        for name in names:
+            per_policy = results.get(name, {})
+            base = per_policy.get("baseline")
+            if base is None:
+                continue
             line = "  ".join(
                 f"{label}={run.speedup_over(base):.2f}x"
                 for label, run in per_policy.items()
                 if label != "baseline"
             )
             print(f"{name:>4s}: {line}")
+
+    if report.failures:
+        # Partial run: print every workload that completed, summarize
+        # the rest to stderr, and exit 3 so scripts notice.
+        print_speedups(sorted(results))
+        print(f"\n{len(report.failures)} job(s) failed:", file=sys.stderr)
+        for failure in report.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        if args.manifest:
+            print(
+                f"re-run with --resume --manifest {args.manifest} "
+                "to retry only the failed points",
+                file=sys.stderr,
+            )
+        return 3
+    if args.workloads:  # partial suite: print raw speedups
+        print_speedups(results)
     else:
         print(figure8(results=results).render())
+    return 0
 
 
 def _cmd_figure(args) -> None:
@@ -264,7 +328,7 @@ def _cmd_bundle(args) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
-        {
+        code = {
             "run": _cmd_run,
             "suite": _cmd_suite,
             "figure": _cmd_figure,
@@ -275,7 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return 0
+    return code if code else 0
 
 
 if __name__ == "__main__":

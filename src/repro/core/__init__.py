@@ -1,6 +1,13 @@
 """Core: policies, system assembly, simulator, experiment drivers."""
 
-from .experiment import WorkloadRunner, run_suite, suite_ratios, suite_speedups
+from .experiment import (
+    SuiteRunReport,
+    WorkloadRunner,
+    run_suite,
+    run_suite_supervised,
+    suite_ratios,
+    suite_speedups,
+)
 from .policies import (
     BASELINE,
     FIGURE8_GRID,
@@ -18,12 +25,20 @@ from .policies import (
 )
 from .results import OffloadSummary, SimulationResult
 from .simulator import Simulator, simulate
+from .supervisor import (
+    JobFailure,
+    JobOutcome,
+    SupervisorConfig,
+    run_supervised,
+)
 from .system import NDPSystem
 
 __all__ = [
     "BASELINE",
     "FIGURE8_GRID",
     "IDEAL_NDP",
+    "JobFailure",
+    "JobOutcome",
     "MappingPolicy",
     "NDPSystem",
     "NDP_CTRL_BMAP",
@@ -37,9 +52,13 @@ __all__ = [
     "RunPolicy",
     "SimulationResult",
     "Simulator",
+    "SuiteRunReport",
+    "SupervisorConfig",
     "TOM",
     "WorkloadRunner",
     "run_suite",
+    "run_suite_supervised",
+    "run_supervised",
     "simulate",
     "suite_ratios",
     "suite_speedups",

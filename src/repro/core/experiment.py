@@ -8,24 +8,36 @@ across workloads when ``REPRO_JOBS`` allows (see
 :mod:`repro.core.parallel`) and backed by the persistent on-disk result
 cache (see :mod:`repro.core.result_cache`), so repeated figure drivers
 re-simulate nothing.
+
+:func:`run_suite_supervised` is the fault-tolerant variant built on
+:mod:`repro.core.supervisor`: per-job timeouts and retries, partial
+results plus structured failures instead of a dead suite, an optional
+JSONL run manifest streamed as outcomes land, and manifest-based
+``resume`` that re-runs only missing or failed points.
+:func:`run_suite` delegates to it and raises
+:class:`~repro.errors.JobExecutionError` if anything failed — the
+strict contract every figure driver expects.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SystemConfig, baseline_config, ndp_config
-from ..errors import ConfigError
+from ..errors import ConfigError, JobExecutionError
 from ..trace.generator import TraceScale, WorkloadTrace, build_trace
 from ..utils.stats import geometric_mean
 from ..workloads.base import PaperWorkload, make_workload
 from ..workloads.suite import SUITE_ORDER
+from . import manifest as manifest_mod
 from . import result_cache
-from .parallel import SuiteJob, run_jobs
+from .parallel import SuiteJob
 from .policies import BASELINE, RunPolicy
 from .results import SimulationResult
 from .simulator import Simulator
+from .supervisor import JobFailure, JobOutcome, SupervisorConfig, run_supervised
 
 
 class WorkloadRunner:
@@ -154,6 +166,201 @@ def _suite_policies(
     return tuple(ordered)
 
 
+@dataclass
+class SuiteRunReport:
+    """What a supervised suite run produced.
+
+    ``results`` holds every completed point (possibly partial when jobs
+    failed); ``failures`` the structured per-job failures; ``outcomes``
+    every :class:`~repro.core.supervisor.JobOutcome` in submission
+    order; ``resumed`` counts policy results restored from the manifest
+    rather than simulated or cache-loaded.
+    """
+
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+    failures: List[JobFailure] = field(default_factory=list)
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    resumed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_suite_supervised(
+    policies: Sequence[RunPolicy],
+    scale: TraceScale = TraceScale.SMALL,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    ndp_configuration: Optional[SystemConfig] = None,
+    include_baseline: bool = True,
+    jobs: Optional[int] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    manifest_path=None,
+    resume: bool = False,
+    recorder=None,
+) -> SuiteRunReport:
+    """Run every policy on every suite workload under supervision.
+
+    Like :func:`run_suite`, cached results are returned without
+    simulating and the remaining work is grouped into one job per
+    workload; unlike it, a failing job becomes a structured
+    :class:`~repro.core.supervisor.JobFailure` in the report instead of
+    killing the suite. ``job_timeout``/``max_retries`` configure the
+    supervisor (env fallbacks ``REPRO_JOB_TIMEOUT``/``REPRO_MAX_RETRIES``).
+
+    With ``manifest_path``, every outcome is appended to a JSONL run
+    manifest as it lands; with ``resume=True`` the manifest is read
+    first and points it records as completed are restored instead of
+    re-run (``report.resumed`` counts them) — only missing or failed
+    points execute. A ``recorder`` with a ``job`` hook (e.g.
+    :class:`repro.obs.TraceRecorder`) receives one job-lifecycle event
+    per outcome.
+    """
+    names = list(workloads) if workloads is not None else list(SUITE_ORDER)
+    wanted = _suite_policies(policies, include_baseline)
+    trace_config = ndp_configuration or ndp_config()
+    base_config = baseline_config()
+
+    report = SuiteRunReport(results={name: {} for name in names})
+    results = report.results
+
+    manifest_entries: Dict[str, Dict] = {}
+    if resume:
+        if not manifest_path:
+            raise ConfigError("resume requires a manifest path")
+        header, manifest_entries = manifest_mod.load_manifest(manifest_path)
+        expected = manifest_mod.run_fingerprint(scale, seed, trace_config, base_config)
+        if header is not None and header.get("run") not in (None, expected):
+            raise ConfigError(
+                f"manifest {manifest_path} belongs to a different run "
+                f"(scale/seed/configuration changed)"
+            )
+
+    pending: List[SuiteJob] = []
+    job_keys: Dict[str, str] = {}
+    for name in names:
+        key = manifest_mod.job_key(name, scale, seed, trace_config, base_config)
+        job_keys[name] = key
+        restored: Dict[str, SimulationResult] = {}
+        if key in manifest_entries:
+            restored = manifest_mod.completed_results(manifest_entries[key]) or {}
+        missing: List[RunPolicy] = []
+        for policy in wanted:
+            run_config = trace_config if policy.offloads else base_config
+            cached = None
+            if result_cache.enabled():
+                cached = result_cache.load(
+                    result_cache.cache_key(
+                        workload=name,
+                        policy_label=policy.label,
+                        scale=scale,
+                        seed=seed,
+                        trace_config=trace_config,
+                        run_config=run_config,
+                    )
+                )
+            if cached is not None:
+                results[name][policy.label] = cached
+            elif policy.label in restored:
+                results[name][policy.label] = restored[policy.label]
+                report.resumed += 1
+            else:
+                missing.append(policy)
+        if missing:
+            pending.append(
+                SuiteJob(
+                    workload=name,
+                    policies=tuple(missing),
+                    scale=scale,
+                    seed=seed,
+                    ndp_configuration=ndp_configuration,
+                )
+            )
+
+    manifest: Optional[manifest_mod.RunManifest] = None
+    if manifest_path:
+        manifest = manifest_mod.RunManifest(
+            manifest_path,
+            header={
+                "run": manifest_mod.run_fingerprint(
+                    scale, seed, trace_config, base_config
+                ),
+                "scale": scale.name,
+                "seed": seed,
+                "policies": [policy.label for policy in wanted],
+                "workloads": names,
+            },
+            append=resume,
+        )
+
+    started = time.monotonic()
+
+    def on_outcome(outcome: JobOutcome) -> None:
+        # Streamed per-outcome hooks: manifest line + job-lifecycle
+        # event. Runs in the supervising (parent) process.
+        if manifest is not None:
+            manifest.record(job_keys[outcome.job.workload], outcome)
+        if recorder is not None and getattr(recorder, "enabled", False):
+            failure = outcome.failure
+            recorder.job(
+                workload=outcome.job.workload,
+                policies=tuple(p.label for p in outcome.job.policies),
+                status="ok" if outcome.ok else "failed",
+                attempts=outcome.attempts,
+                elapsed=outcome.elapsed,
+                error=failure.message if failure is not None else None,
+                at=time.monotonic() - started,
+            )
+
+    supervisor_config = SupervisorConfig.from_env(
+        timeout=job_timeout, max_retries=max_retries
+    )
+    try:
+        report.outcomes = run_supervised(
+            pending,
+            n_jobs=jobs,
+            config=supervisor_config,
+            on_outcome=on_outcome,
+        )
+    finally:
+        if manifest is not None:
+            manifest.close()
+
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            if outcome.failure is not None:
+                report.failures.append(outcome.failure)
+            continue
+        job, job_results = outcome.job, outcome.results or {}
+        for policy in job.policies:
+            result = job_results[policy.label]
+            results[job.workload][policy.label] = result
+            # Workers store through their own WorkloadRunner; repeating
+            # the store here covers the serial path and crashed workers'
+            # surviving siblings alike (idempotent either way).
+            if result_cache.enabled():
+                run_config = trace_config if policy.offloads else base_config
+                result_cache.store(
+                    result_cache.cache_key(
+                        workload=job.workload,
+                        policy_label=policy.label,
+                        scale=scale,
+                        seed=seed,
+                        trace_config=trace_config,
+                        run_config=run_config,
+                    ),
+                    result,
+                )
+    # A workload whose every point failed contributes no results; drop
+    # its empty dict so callers can treat membership as "has data".
+    for name in names:
+        if not results[name]:
+            del results[name]
+    return report
+
+
 def run_suite(
     policies: Sequence[RunPolicy],
     scale: TraceScale = TraceScale.SMALL,
@@ -174,68 +381,24 @@ def run_suite(
     workload's policies — and dispatched across ``jobs`` worker
     processes (default: ``REPRO_JOBS`` / CPU count; serial when 1).
     Serial and parallel execution produce bit-identical results.
+
+    Strict: raises :class:`~repro.errors.JobExecutionError` if any job
+    failed permanently (the supervised engine may retry first, per
+    ``REPRO_MAX_RETRIES``); use :func:`run_suite_supervised` to get
+    partial results plus structured failures instead.
     """
-    names = list(workloads) if workloads is not None else list(SUITE_ORDER)
-    wanted = _suite_policies(policies, include_baseline)
-    trace_config = ndp_configuration or ndp_config()
-    base_config = baseline_config()
-
-    results: Dict[str, Dict[str, SimulationResult]] = {
-        name: {} for name in names
-    }
-    pending: List[SuiteJob] = []
-    for name in names:
-        missing: List[RunPolicy] = []
-        for policy in wanted:
-            run_config = trace_config if policy.offloads else base_config
-            cached = None
-            if result_cache.enabled():
-                cached = result_cache.load(
-                    result_cache.cache_key(
-                        workload=name,
-                        policy_label=policy.label,
-                        scale=scale,
-                        seed=seed,
-                        trace_config=trace_config,
-                        run_config=run_config,
-                    )
-                )
-            if cached is not None:
-                results[name][policy.label] = cached
-            else:
-                missing.append(policy)
-        if missing:
-            pending.append(
-                SuiteJob(
-                    workload=name,
-                    policies=tuple(missing),
-                    scale=scale,
-                    seed=seed,
-                    ndp_configuration=ndp_configuration,
-                )
-            )
-
-    for job, job_results in zip(pending, run_jobs(pending, n_jobs=jobs)):
-        for policy in job.policies:
-            result = job_results[policy.label]
-            results[job.workload][policy.label] = result
-            # Workers store through their own WorkloadRunner; repeating
-            # the store here covers the serial path and crashed workers'
-            # surviving siblings alike (idempotent either way).
-            if result_cache.enabled():
-                run_config = trace_config if policy.offloads else base_config
-                result_cache.store(
-                    result_cache.cache_key(
-                        workload=job.workload,
-                        policy_label=policy.label,
-                        scale=scale,
-                        seed=seed,
-                        trace_config=trace_config,
-                        run_config=run_config,
-                    ),
-                    result,
-                )
-    return results
+    report = run_suite_supervised(
+        policies,
+        scale=scale,
+        seed=seed,
+        workloads=workloads,
+        ndp_configuration=ndp_configuration,
+        include_baseline=include_baseline,
+        jobs=jobs,
+    )
+    if report.failures:
+        raise JobExecutionError(report.failures)
+    return report.results
 
 
 def suite_speedups(

@@ -13,9 +13,17 @@ bit-identical by construction — the engine itself is deterministic).
 
 Worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``).
 ``REPRO_JOBS=1`` forces the serial in-process path, which is also the
-automatic fallback when job payloads cannot be pickled (e.g. debug runs
-with monkeypatched configs or ad-hoc workload objects) or when process
-pools are unavailable on the platform.
+automatic fallback when process pools are unavailable on the platform.
+Jobs whose payloads cannot be pickled (e.g. debug runs with
+monkeypatched configs or ad-hoc workload objects) run inline in the
+parent — *per job*: one pickling-hostile job no longer demotes the
+whole batch to serial.
+
+Execution itself is delegated to the supervised engine in
+:mod:`repro.core.supervisor` (per-job timeouts, retries, crash
+recovery, structured failures); :func:`run_jobs` is the strict facade
+that raises :class:`~repro.errors.JobExecutionError` if any job failed
+permanently.
 
 Job payloads and results are plain frozen dataclasses (configs,
 policies, :class:`SimulationResult`), so pickling is cheap; traces are
@@ -26,12 +34,11 @@ never shipped between processes — each worker rebuilds its own from the
 from __future__ import annotations
 
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
+from ..errors import JobExecutionError
 from ..trace.generator import TraceScale
 from .policies import RunPolicy
 from .results import SimulationResult
@@ -85,21 +92,19 @@ def run_jobs(
 ) -> List[Dict[str, SimulationResult]]:
     """Execute every job, in submission order, and return their result
     maps in the same order. Parallel across jobs; serial within a job
-    (policies of one workload share the worker's trace)."""
-    jobs = list(jobs)
-    workers = n_jobs if n_jobs is not None else default_jobs()
-    workers = min(workers, len(jobs))
-    if workers <= 1:
-        return [execute_job(job) for job in jobs]
-    try:
-        pickle.dumps(jobs)
-    except Exception:
-        # Pickling-hostile payloads (debug configs, ad-hoc objects):
-        # degrade to the serial path rather than fail.
-        return [execute_job(job) for job in jobs]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_job, jobs))
-    except (OSError, ImportError):
-        # No process support (restricted platforms): serial fallback.
-        return [execute_job(job) for job in jobs]
+    (policies of one workload share the worker's trace).
+
+    Strict facade over :func:`repro.core.supervisor.run_supervised`:
+    any job that fails permanently (after the configured retries)
+    raises :class:`~repro.errors.JobExecutionError` carrying every
+    structured :class:`~repro.core.supervisor.JobFailure`. Callers that
+    want partial results instead use the supervisor (or
+    ``run_suite_supervised``) directly.
+    """
+    from .supervisor import run_supervised  # deferred: supervisor imports us
+
+    outcomes = run_supervised(jobs, n_jobs=n_jobs)
+    failures = [o.failure for o in outcomes if o.failure is not None]
+    if failures:
+        raise JobExecutionError(failures)
+    return [o.results for o in outcomes if o.results is not None]

@@ -28,8 +28,16 @@ Environment knobs (documented in ``docs/PERFORMANCE.md``):
 
 Results are stored via the lossless JSON serialization in
 :mod:`repro.analysis.export` (imported lazily to keep the core layer
-import-free of the analysis layer). Unreadable or stale-format entries
-are treated as misses and rewritten.
+import-free of the analysis layer).
+
+Integrity: every entry carries a SHA-256 checksum over the canonical
+JSON of its result payload, verified on load. Entries that fail any
+check — unreadable, unparseable, stale format, checksum mismatch,
+undecodable result — count in ``stats["corrupt"]``, log a one-line
+warning, and are *quarantined* (moved to ``<cache>/quarantine/``, not
+deleted) so a corruption bug can be diagnosed from the evidence; the
+load then behaves as a miss and the entry is rewritten. See
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from functools import lru_cache
@@ -48,10 +57,13 @@ from ..trace.generator import TraceScale
 from .results import SimulationResult
 
 #: Bump when the on-disk payload format changes.
-_FORMAT_VERSION = 1
+#: v2: payload checksum added (integrity verification + quarantine).
+_FORMAT_VERSION = 2
 
 #: Process-local counters, mainly for tests and diagnostics.
-stats = {"hits": 0, "misses": 0, "stores": 0}
+stats = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
+
+_log = logging.getLogger("repro.result_cache")
 
 
 def enabled() -> bool:
@@ -114,28 +126,71 @@ def _entry_path(key: str) -> Path:
     return cache_dir() / f"{key}.json"
 
 
+def quarantine_dir() -> Path:
+    """Where entries that failed integrity checks are moved aside."""
+    return cache_dir() / "quarantine"
+
+
+def _checksum(result_payload) -> str:
+    canonical = json.dumps(result_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a bad entry aside (never silently delete the evidence) and
+    log a one-line warning; best-effort on filesystem errors."""
+    stats["corrupt"] += 1
+    try:
+        directory = quarantine_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        os.replace(path, directory / path.name)
+        _log.warning(
+            "result cache: quarantined corrupt entry %s (%s)", path.name, reason
+        )
+    except OSError:
+        _log.warning(
+            "result cache: corrupt entry %s (%s) could not be quarantined",
+            path.name,
+            reason,
+        )
+
+
 def load(key: str) -> Optional[SimulationResult]:
-    """Fetch a cached result; ``None`` on miss (or when disabled)."""
+    """Fetch a cached result; ``None`` on miss (or when disabled).
+
+    A corrupt entry — unparseable, stale format, checksum mismatch, or
+    undecodable — counts as both ``corrupt`` and a miss, and is moved to
+    the quarantine directory rather than deleted."""
     if not enabled():
         return None
     path = _entry_path(key)
     try:
         with open(path, "r") as handle:
             payload = json.load(handle)
-        if payload.get("format") != _FORMAT_VERSION:
-            raise ValueError(f"stale cache format {payload.get('format')}")
-        from ..analysis.export import result_from_dict
-
-        result = result_from_dict(payload["result"])
     except FileNotFoundError:
         stats["misses"] += 1
         return None
-    except (OSError, ValueError, KeyError, TypeError):
-        # Corrupt or stale entry: drop it and simulate.
+    except (OSError, ValueError) as error:
+        _quarantine(path, f"unreadable: {error}")
+        stats["misses"] += 1
+        return None
+    reason = None
+    result = None
+    if not isinstance(payload, dict) or "result" not in payload:
+        reason = "malformed payload"
+    elif payload.get("format") != _FORMAT_VERSION:
+        reason = f"stale format {payload.get('format')!r}"
+    elif payload.get("checksum") != _checksum(payload["result"]):
+        reason = "checksum mismatch"
+    else:
+        from ..analysis.export import result_from_dict
+
         try:
-            path.unlink()
-        except OSError:
-            pass
+            result = result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError) as error:
+            reason = f"undecodable result: {error}"
+    if reason is not None:
+        _quarantine(path, reason)
         stats["misses"] += 1
         return None
     stats["hits"] += 1
@@ -150,7 +205,17 @@ def store(key: str, result: SimulationResult) -> None:
         return
     from ..analysis.export import result_to_dict
 
-    payload = {"format": _FORMAT_VERSION, "result": result_to_dict(result)}
+    result_payload = result_to_dict(result)
+    payload = {
+        "format": _FORMAT_VERSION,
+        "checksum": _checksum(result_payload),
+        "result": result_payload,
+    }
+    data = json.dumps(payload).encode()
+    if os.environ.get("REPRO_FAULTS"):
+        from ..testing.faults import corrupt_payload
+
+        data = corrupt_payload(f"cache/{key}", data)
     directory = cache_dir()
     try:
         directory.mkdir(parents=True, exist_ok=True)
@@ -158,8 +223,8 @@ def store(key: str, result: SimulationResult) -> None:
             prefix=".tmp-", suffix=".json", dir=str(directory)
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
             os.replace(tmp_name, _entry_path(key))
         except BaseException:
             try:
@@ -188,4 +253,4 @@ def clear() -> int:
 
 
 def reset_stats() -> None:
-    stats["hits"] = stats["misses"] = stats["stores"] = 0
+    stats["hits"] = stats["misses"] = stats["stores"] = stats["corrupt"] = 0

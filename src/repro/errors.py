@@ -38,6 +38,22 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 
 
+class JobExecutionError(SimulationError):
+    """One or more supervised suite jobs failed permanently.
+
+    Raised by the strict entry points (:func:`repro.core.parallel.run_jobs`,
+    :func:`repro.core.experiment.run_suite`); carries the structured
+    per-job failures so callers can still see *which* points died. The
+    partial-result entry point (``run_suite_supervised``) returns these
+    in its report instead of raising.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        summary = "; ".join(f.describe() for f in self.failures)
+        super().__init__(f"{len(self.failures)} job(s) failed: {summary}")
+
+
 class AllocationError(ReproError):
     """A memory allocation request could not be satisfied."""
 

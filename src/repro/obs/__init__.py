@@ -34,6 +34,7 @@ Schema and workflow: ``docs/OBSERVABILITY.md``.
 from .events import (
     AccessEvent,
     DecisionEvent,
+    JobEvent,
     LearningEvent,
     MetricSample,
     RunInfo,
@@ -46,6 +47,7 @@ from .sampler import MetricSampler
 __all__ = [
     "AccessEvent",
     "DecisionEvent",
+    "JobEvent",
     "LearningEvent",
     "MetricSample",
     "MetricSampler",

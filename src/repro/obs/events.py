@@ -103,6 +103,30 @@ class AccessEvent:
 
 
 @dataclass(frozen=True)
+class JobEvent:
+    """One supervised suite job's lifecycle outcome (see
+    :mod:`repro.core.supervisor`): which workload's job finished, how
+    it ended, how many attempts the supervisor spent on it. ``time`` is
+    seconds since the suite run started (wall clock — suite jobs live
+    outside any one simulation's cycle clock)."""
+
+    kind = "job"
+    time: float
+    workload: str
+    policies: Tuple[str, ...]
+    #: ``"ok"`` or ``"failed"``
+    status: str
+    attempts: int
+    elapsed: float
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        payload = {"kind": self.kind, **asdict(self)}
+        payload["policies"] = list(payload["policies"])
+        return payload
+
+
+@dataclass(frozen=True)
 class MetricSample:
     """One windowed sample of the hardware state (the time-series side
     of the trace). Utilizations are busy-time fractions over the window
@@ -145,6 +169,9 @@ def event_from_dict(payload: Dict):
     if kind == "access":
         data["stacks"] = {int(k): v for k, v in data.get("stacks", {}).items()}
         return AccessEvent(**data)
+    if kind == "job":
+        data["policies"] = tuple(data.get("policies", ()))
+        return JobEvent(**data)
     if kind == "sample":
         for key in ("tx_utilization", "rx_utilization", "vault_backlog"):
             data[key] = tuple(float(v) for v in data[key])

@@ -32,6 +32,7 @@ from ..errors import AnalysisError
 from .events import (
     AccessEvent,
     DecisionEvent,
+    JobEvent,
     LearningEvent,
     MetricSample,
     RunInfo,
@@ -78,6 +79,18 @@ class NullRecorder:
     def access(self, origin: str, is_store: bool, stacks: Dict[int, int]) -> None:
         pass
 
+    def job(
+        self,
+        workload: str,
+        policies: Sequence[str],
+        status: str,
+        attempts: int,
+        elapsed: float,
+        error: Optional[str] = None,
+        at: float = 0.0,
+    ) -> None:
+        pass
+
     def events(self) -> List:
         return []
 
@@ -106,6 +119,7 @@ class TraceRecorder(NullRecorder):
         self.accesses: Deque[AccessEvent] = deque(maxlen=access_capacity)
         self.samples: Deque[MetricSample] = deque(maxlen=sample_capacity)
         self.learnings: List[LearningEvent] = []
+        self.jobs: List[JobEvent] = []
         self.dropped: Dict[str, int] = {"decision": 0, "access": 0, "sample": 0}
         self._sample_window = sample_window
         self._engine = None
@@ -193,12 +207,37 @@ class TraceRecorder(NullRecorder):
         )
         self._tick()
 
+    def job(
+        self,
+        workload: str,
+        policies: Sequence[str],
+        status: str,
+        attempts: int,
+        elapsed: float,
+        error: Optional[str] = None,
+        at: float = 0.0,
+    ) -> None:
+        """One supervised suite job landed (unbounded list: there are at
+        most one per workload per run, never a flood)."""
+        self.jobs.append(
+            JobEvent(
+                time=at,
+                workload=workload,
+                policies=tuple(policies),
+                status=status,
+                attempts=attempts,
+                elapsed=elapsed,
+                error=error,
+            )
+        )
+
     # -- reading back ---------------------------------------------------
 
     @property
     def n_events(self) -> int:
         return (
             (1 if self.run_info else 0)
+            + len(self.jobs)
             + len(self.learnings)
             + len(self.decisions)
             + len(self.accesses)
@@ -206,12 +245,13 @@ class TraceRecorder(NullRecorder):
         )
 
     def events(self) -> List:
-        """Every recorded event: run info first, then learning,
+        """Every recorded event: run info first, then job, learning,
         decision, access, and sample streams (each internally
         time-ordered)."""
         merged: List = []
         if self.run_info is not None:
             merged.append(self.run_info)
+        merged.extend(self.jobs)
         merged.extend(self.learnings)
         merged.extend(self.decisions)
         merged.extend(self.accesses)

@@ -50,11 +50,30 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
 
 def _split(events: Iterable) -> Dict[str, List]:
     groups: Dict[str, List] = {
-        "run": [], "decision": [], "learning": [], "access": [], "sample": []
+        "run": [], "job": [], "decision": [], "learning": [],
+        "access": [], "sample": [],
     }
     for event in events:
-        groups[event.kind].append(event)
+        # Unknown kinds (newer schema than this renderer) group but
+        # render nowhere rather than crashing the report.
+        groups.setdefault(event.kind, []).append(event)
     return groups
+
+
+def _job_section(jobs: List) -> List[str]:
+    if not jobs:
+        return []
+    lines = ["supervised jobs"]
+    lines.append("-" * len(lines[0]))
+    for event in jobs:
+        status = event.status
+        detail = f"{event.attempts} attempt(s), {event.elapsed:.1f}s"
+        if event.error:
+            detail += f" — {event.error}"
+        lines.append(f"  {event.workload:>4s}  {status:<6s} {detail}")
+    failed = sum(1 for event in jobs if event.status != "ok")
+    lines.append(f"  {len(jobs) - failed}/{len(jobs)} jobs completed")
+    return lines
 
 
 def _decision_section(decisions: List[DecisionEvent]) -> List[str]:
@@ -207,6 +226,7 @@ def render_report(events: Iterable, width: int = 60) -> str:
     lines.append("")
     lines.extend(_decision_section(groups["decision"]))
     for section in (
+        _job_section(groups["job"]),
         _learning_section(groups["learning"]),
         _routing_section(groups["access"]),
         _timeline_section(groups["sample"], width),

@@ -1,0 +1,35 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness behind the ``REPRO_FAULTS`` environment variable; the
+supervised job runner's degraded paths (worker crash, hang, transient
+exception, corrupt cache entry) are exercised through it, both in the
+test suite and in the CI fault-injection smoke step.
+
+Production code never imports this package unless ``REPRO_FAULTS`` is
+set, so it adds zero overhead to normal runs.
+"""
+
+from .faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    active,
+    corrupt_payload,
+    maybe_fault,
+    parse_spec,
+    plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
+    "active",
+    "corrupt_payload",
+    "maybe_fault",
+    "parse_spec",
+    "plan",
+]

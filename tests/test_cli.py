@@ -33,6 +33,39 @@ class TestSuite:
         assert "SP:" in out and "RD:" in out
         assert "ctrl+tmap" in out
 
+    def test_failed_jobs_exit_3_then_resume(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A suite with a permanently failing job completes with
+        partial results, prints a failure summary, and exits 3; a
+        ``--resume`` run after the fault clears re-runs only the failed
+        point and exits 0."""
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.setenv("REPRO_FAULTS", "raise@job/SP")
+        manifest = str(tmp_path / "run.jsonl")
+        code = main(
+            ["suite", "--scale", "TINY", "--workloads", "SP", "RD",
+             "--max-retries", "0", "--manifest", manifest]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "RD:" in captured.out  # the healthy workload still printed
+        assert "1 job(s) failed" in captured.err
+        assert "--resume" in captured.err
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        code = main(
+            ["suite", "--scale", "TINY", "--workloads", "SP", "RD",
+             "--max-retries", "0", "--manifest", manifest, "--resume"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "SP:" in captured.out and "RD:" in captured.out
+
+    def test_resume_requires_manifest(self, capsys):
+        assert main(["suite", "--scale", "TINY", "--resume"]) == 2
+        assert "--resume requires --manifest" in capsys.readouterr().err
+
 
 class TestFigure:
     def test_sec66(self, capsys):

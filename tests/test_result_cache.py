@@ -149,7 +149,11 @@ class TestDisableAndCorruption:
         path = result_cache.cache_dir() / f"{key}.json"
         path.write_text("{ not json")
         assert result_cache.load(key) is None
-        assert not path.exists(), "corrupt entries are dropped"
+        assert not path.exists(), "corrupt entries leave the cache"
+        assert (result_cache.quarantine_dir() / path.name).exists(), (
+            "corrupt entries are quarantined, not deleted"
+        )
+        assert result_cache.stats["corrupt"] == 1
 
     def test_stale_format_is_a_miss(self):
         result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
@@ -160,6 +164,58 @@ class TestDisableAndCorruption:
         payload["format"] = -1
         path.write_text(json.dumps(payload))
         assert result_cache.load(key) is None
+        assert result_cache.stats["corrupt"] == 1
+
+    def test_checksum_mismatch_is_caught(self):
+        """A bit-rotted result — valid JSON, current format, one value
+        perturbed — fails checksum verification and is quarantined."""
+        result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        key = _key()
+        result_cache.store(key, result)
+        path = result_cache.cache_dir() / f"{key}.json"
+        payload = json.loads(path.read_text())
+        payload["result"]["cycles"] += 1
+        path.write_text(json.dumps(payload))
+        assert result_cache.load(key) is None
+        assert result_cache.stats["corrupt"] == 1
+        assert (result_cache.quarantine_dir() / path.name).exists()
+
+    def test_checksum_survives_honest_round_trip(self):
+        """The canonical-JSON checksum is stable under a store/load
+        round trip (key ordering and float formatting included)."""
+        result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        key = _key()
+        result_cache.store(key, result)
+        assert result_cache.load(key) == result
+        assert result_cache.stats["corrupt"] == 0
+
+    def test_corrupt_store_heals_on_next_run(self, monkeypatch):
+        """End to end: a store corrupted in flight (fault injection) is
+        detected on the next load, quarantined, and transparently
+        re-simulated — the caller sees identical results."""
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt-cache:mode=flip")
+        first = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        monkeypatch.delenv("REPRO_FAULTS")
+        second = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        assert first == second
+        assert result_cache.stats["corrupt"] == 1
+        assert list(result_cache.quarantine_dir().glob("*.json"))
+
+    def test_quarantined_entries_survive_clear(self):
+        result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
+        key = _key()
+        result_cache.store(key, result)
+        (result_cache.cache_dir() / f"{key}.json").write_text("{ not json")
+        result_cache.load(key)
+        result_cache.clear()
+        assert list(result_cache.quarantine_dir().glob("*.json")), (
+            "clear() removes entries, never the quarantined evidence"
+        )
+
+    def test_reset_stats_covers_corrupt(self):
+        result_cache.stats["corrupt"] = 5
+        result_cache.reset_stats()
+        assert result_cache.stats["corrupt"] == 0
 
     def test_clear(self):
         result = WorkloadRunner("SP", scale=TraceScale.TINY).run(NDP_CTRL_BMAP)
