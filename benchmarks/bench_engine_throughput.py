@@ -13,10 +13,16 @@ roughly the proportions a warp task does.
 Standalone usage (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+``--json PATH`` additionally emits the machine-readable baseline
+(median-of-k wall times; see ``benchmarks/_baseline.py``) that
+``tools/bench_compare.py`` diffs against the checked-in
+``benchmarks/BENCH_engine.json``.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from repro.utils.simcore import (
@@ -62,16 +68,24 @@ def build_synthetic_engine(n_tasks: int = N_TASKS) -> Engine:
     return engine
 
 
-def measure_events_per_second(n_tasks: int = N_TASKS, repeats: int = 3) -> float:
-    """Best-of-``repeats`` events/sec over the synthetic mix."""
-    best = 0.0
+def measure_wall_times(n_tasks: int = N_TASKS, repeats: int = 5):
+    """``repeats`` wall-time samples over the synthetic mix, plus the
+    (constant) event count of one run."""
+    samples = []
+    events = 0
     for _ in range(repeats):
         engine = build_synthetic_engine(n_tasks)
         start = time.perf_counter()
         engine.run()
-        elapsed = time.perf_counter() - start
-        best = max(best, engine.events_processed / elapsed)
-    return best
+        samples.append(time.perf_counter() - start)
+        events = engine.events_processed
+    return samples, events
+
+
+def measure_events_per_second(n_tasks: int = N_TASKS, repeats: int = 3) -> float:
+    """Best-of-``repeats`` events/sec over the synthetic mix."""
+    samples, events = measure_wall_times(n_tasks, repeats)
+    return events / min(samples)
 
 
 def test_engine_throughput(benchmark):
@@ -95,8 +109,31 @@ def test_engine_throughput(benchmark):
 
 
 def main() -> None:
-    events_per_sec = measure_events_per_second()
-    print(f"engine throughput: {events_per_sec:,.0f} events/sec (best of 3)")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="emit the machine-readable baseline document",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    samples, events = measure_wall_times(repeats=args.repeats)
+    events_per_sec = events / min(samples)
+    print(
+        f"engine throughput: {events_per_sec:,.0f} events/sec "
+        f"({events} events, best of {args.repeats})"
+    )
+    if args.json:
+        from _baseline import emit, metric
+
+        emit(
+            args.json,
+            "engine_throughput",
+            {"synthetic_mix_wall": metric(samples)},
+            n_tasks=N_TASKS,
+            events=events,
+        )
 
 
 if __name__ == "__main__":

@@ -14,10 +14,16 @@ allocator spread them, with a fixed RNG seed so runs are comparable.
 Standalone usage (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_memory_subsystem.py
+
+``--json PATH`` additionally emits the machine-readable baseline
+(median-of-k wall times per component; see ``benchmarks/_baseline.py``)
+that ``tools/bench_compare.py`` diffs against the checked-in
+``benchmarks/BENCH_memory.json``.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 from typing import Dict, List, Tuple
 
@@ -50,33 +56,32 @@ def _access_stream(rng: np.random.Generator, span_lines: int) -> List[List[int]]
     return accesses
 
 
-def bench_allocation_lookup() -> Tuple[float, int]:
-    """Lookups/sec against a paper-sized (tens of entries) table."""
+def bench_allocation_lookup() -> Tuple[List[float], int]:
+    """Wall times for 50k lookups against a paper-sized table."""
     table = MemoryAllocationTable()
     for i in range(40):
         table.allocate(f"array{i}", (i % 7 + 1) * 64 * 1024)
     rng = np.random.default_rng(0)
     span = table._next - (1 << 28)
     addresses = ((1 << 28) + rng.integers(0, span, size=50_000)).tolist()
-    best = 0.0
+    samples: List[float] = []
     for _ in range(REPEATS):
         table._page_memo.clear()
         start = time.perf_counter()
         for address in addresses:
             table.lookup(address)
-        elapsed = time.perf_counter() - start
-        best = max(best, len(addresses) / elapsed)
-    return best, len(addresses)
+        samples.append(time.perf_counter() - start)
+    return samples, len(addresses)
 
 
-def bench_cache_batch() -> Tuple[float, int]:
+def bench_cache_batch() -> Tuple[List[float], int]:
     """Lines/sec through ``load_misses`` + ``store_batch`` on an
     L1-sized cache, the two calls the simulator's access paths make."""
     rng = np.random.default_rng(1)
     accesses = _access_stream(rng, span_lines=16_384)
     line_ids = [[line >> 7 for line in lines] for lines in accesses]
     total_lines = sum(len(lines) for lines in accesses)
-    best = 0.0
+    samples: List[float] = []
     for _ in range(REPEATS):
         cache = Cache(size_bytes=32 * 1024, ways=4, line_bytes=LINE_BYTES, name="l1")
         start = time.perf_counter()
@@ -86,12 +91,11 @@ def bench_cache_batch() -> Tuple[float, int]:
                 cache.store_batch(ids)
             else:
                 cache.load_misses(lines, ids)
-        elapsed = time.perf_counter() - start
-        best = max(best, total_lines / elapsed)
-    return best, total_lines
+        samples.append(time.perf_counter() - start)
+    return samples, total_lines
 
 
-def bench_vault_batch() -> Tuple[float, int]:
+def bench_vault_batch() -> Tuple[List[float], int]:
     """Lines/sec booked through the stack's batched service entry
     points (``service_interleaved`` — the ideal-colocation path — and
     single-vault ``service_batch``)."""
@@ -100,7 +104,7 @@ def bench_vault_batch() -> Tuple[float, int]:
     accesses = _access_stream(rng, span_lines=1 << 20)
     total_lines = sum(len(lines) for lines in accesses)
     line_bits = 7
-    best = 0.0
+    samples: List[float] = []
     for _ in range(REPEATS):
         stack = MemoryStack(Engine(), 0, config)
         start = time.perf_counter()
@@ -109,21 +113,33 @@ def bench_vault_batch() -> Tuple[float, int]:
                 stack.service_batch(0, lines, LINE_BYTES)
             else:
                 stack.service_interleaved(lines, LINE_BYTES, line_bits)
-        elapsed = time.perf_counter() - start
-        best = max(best, total_lines / elapsed)
-    return best, total_lines
+        samples.append(time.perf_counter() - start)
+    return samples, total_lines
 
 
-def _report() -> Dict[str, float]:
+def _report(json_path: str = "") -> Dict[str, float]:
     results: Dict[str, float] = {}
+    metrics: Dict[str, Dict] = {}
     for label, fn in (
         ("allocation lookup", bench_allocation_lookup),
         ("cache batch", bench_cache_batch),
         ("vault batch", bench_vault_batch),
     ):
-        rate, units = fn()
+        samples, units = fn()
+        rate = units / min(samples)
         results[label] = rate
         print(f"{label:>18}: {rate:,.0f} lines/sec ({units} lines, best of {REPEATS})")
+        metrics[label.replace(" ", "_") + "_wall"] = {"samples": samples}
+    if json_path:
+        from _baseline import emit, metric
+
+        emit(
+            json_path,
+            "memory_subsystem",
+            {name: metric(entry["samples"]) for name, entry in metrics.items()},
+            n_accesses=N_ACCESSES,
+            repeats=REPEATS,
+        )
     return results
 
 
@@ -134,7 +150,14 @@ def test_memory_subsystem_throughput(benchmark):
 
 
 def main() -> None:
-    _report()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="emit the machine-readable baseline document",
+    )
+    args = parser.parse_args()
+    _report(json_path=args.json or "")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from ..trace.generator import TraceScale, WorkloadTrace, build_trace
 from ..utils.stats import geometric_mean
 from ..workloads.base import PaperWorkload, make_workload
 from ..workloads.suite import SUITE_ORDER
+from . import gridrun
 from . import manifest as manifest_mod
 from . import result_cache
 from .parallel import SuiteJob
@@ -65,6 +66,10 @@ class WorkloadRunner:
         self.baseline_configuration = baseline_configuration or baseline_config()
         self._trace: Optional[WorkloadTrace] = None
         self._cache: Dict[str, SimulationResult] = {}
+        # The GridReport of the most recent run_grid lockstep call
+        # (None until one runs) — benchmarks and the fault-injection
+        # smoke read dedup/eviction counts off it.
+        self.last_grid_report: Optional[gridrun.GridReport] = None
 
     @property
     def trace(self) -> WorkloadTrace:
@@ -141,6 +146,158 @@ class WorkloadRunner:
         if cache and not custom:
             self._cache[key] = result
         return result
+
+    def run_grid(
+        self,
+        policies: Sequence[RunPolicy],
+        variants: Optional[Sequence[SystemConfig]] = None,
+        cache: bool = True,
+        recorder=None,
+    ) -> Union[Dict[str, SimulationResult], List[Dict[str, SimulationResult]]]:
+        """Run many policies — optionally across NDP-configuration
+        ``variants`` — through the lockstep grid engine
+        (:mod:`repro.core.gridrun`) over one shared trace.
+
+        Returns ``{policy_label: result}`` when ``variants`` is None,
+        else one such dict per variant. Results are bit-identical to
+        running each variant on its own :class:`WorkloadRunner` (the
+        scalar engine remains the reference; ``REPRO_NO_GRID=1`` forces
+        that path). Per-lane caching is unchanged: every lane probes the
+        persistent cache under the exact key :meth:`run` would use —
+        before the trace is built, so a fully-warm grid builds nothing —
+        and stores its result back. Grid lanes bypass tracing the same
+        way cache hits do, so an enabled ``recorder`` forces the
+        sequential scalar path. Variants whose configuration would
+        generate a different trace (compiler/message/warp/page fields)
+        are evicted to their own scalar runners.
+        """
+        single = variants is None
+        ndp_variants = (
+            [self.ndp_configuration] if single else list(variants)
+        )
+        tracing = recorder is not None and recorder.enabled
+        results: List[Dict[str, SimulationResult]] = [
+            {} for _ in ndp_variants
+        ]
+        missing: List[Tuple[int, RunPolicy]] = []
+        for index, ndp_cfg in enumerate(ndp_variants):
+            for policy in policies:
+                label = policy.label
+                if tracing:
+                    missing.append((index, policy))
+                    continue
+                if cache and single and label in self._cache:
+                    results[index][label] = self._cache[label]
+                    continue
+                if cache and self._persistent_ok and result_cache.enabled():
+                    run_config = (
+                        self.baseline_configuration
+                        if not policy.offloads
+                        else ndp_cfg
+                    )
+                    hit = result_cache.load(
+                        result_cache.cache_key(
+                            workload=self.model.name,
+                            policy_label=label,
+                            scale=self.scale,
+                            seed=self.seed,
+                            trace_config=ndp_cfg,
+                            run_config=run_config,
+                            oracle_position=None,
+                        )
+                    )
+                    if hit is not None:
+                        results[index][label] = hit
+                        if single:
+                            self._cache[label] = hit
+                        continue
+                missing.append((index, policy))
+
+        scalar_runners: Dict[int, "WorkloadRunner"] = {}
+
+        def variant_runner(index: int) -> "WorkloadRunner":
+            runner = scalar_runners.get(index)
+            if runner is None:
+                cfg = ndp_variants[index]
+                if cfg == self.ndp_configuration and not any(
+                    r is self for r in scalar_runners.values()
+                ):
+                    runner = self
+                else:
+                    runner = WorkloadRunner(
+                        self.model.name if self._persistent_ok else self.model,
+                        scale=self.scale,
+                        seed=self.seed,
+                        ndp_configuration=cfg,
+                        baseline_configuration=self.baseline_configuration,
+                    )
+                scalar_runners[index] = runner
+            return runner
+
+        def run_scalar(index: int, policy: RunPolicy) -> SimulationResult:
+            result = variant_runner(index).run(
+                policy, cache=cache, recorder=recorder
+            )
+            if single and cache:
+                self._cache.setdefault(policy.label, result)
+            return result
+
+        use_grid = (
+            not tracing and gridrun.lockstep_enabled() and len(missing) >= 2
+        )
+        if not use_grid:
+            for index, policy in missing:
+                results[index][policy.label] = run_scalar(index, policy)
+            return results[0] if single else results
+
+        own_fingerprint = gridrun.trace_fingerprint(self.ndp_configuration)
+        grid_lanes: List[Tuple[int, RunPolicy]] = []
+        for index, policy in missing:
+            compatible = single or (
+                gridrun.trace_fingerprint(ndp_variants[index])
+                == own_fingerprint
+            )
+            if compatible:
+                grid_lanes.append((index, policy))
+            else:  # different trace: evict the lane to its own runner
+                results[index][policy.label] = run_scalar(index, policy)
+        if grid_lanes:
+            requests = [
+                gridrun.GridRequest(
+                    policy=policy,
+                    ndp_configuration=ndp_variants[index],
+                    baseline_configuration=self.baseline_configuration,
+                )
+                for index, policy in grid_lanes
+            ]
+            report = gridrun.run_grid(
+                self.trace, requests, trace_config=self.ndp_configuration
+            )
+            self.last_grid_report = report
+            for (index, policy), result in zip(grid_lanes, report.results):
+                label = policy.label
+                results[index][label] = result
+                if cache and self._persistent_ok and result_cache.enabled():
+                    run_config = (
+                        self.baseline_configuration
+                        if not policy.offloads
+                        else ndp_variants[index]
+                    )
+                    result_cache.store(
+                        result_cache.cache_key(
+                            workload=self.model.name,
+                            policy_label=label,
+                            scale=self.scale,
+                            seed=self.seed,
+                            trace_config=ndp_variants[index],
+                            run_config=run_config,
+                            oracle_position=None,
+                        ),
+                        result,
+                    )
+                if single and cache:
+                    self._cache[label] = result
+        return results[0] if single else results
 
     def baseline(self) -> SimulationResult:
         return self.run(BASELINE)

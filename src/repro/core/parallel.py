@@ -74,7 +74,12 @@ def execute_job(job: SuiteJob) -> Dict[str, SimulationResult]:
     """Run one job (in a worker or inline): build the workload's trace
     once, simulate every requested policy against it. Results land in
     the persistent cache from inside the worker, so even a crashed
-    parent keeps completed work."""
+    parent keeps completed work.
+
+    Jobs carrying two or more policies go through the lockstep grid
+    engine (``WorkloadRunner.run_grid`` — bit-identical to sequential
+    runs, disabled by ``REPRO_NO_GRID=1``); single-policy jobs run the
+    scalar engine directly."""
     from .experiment import WorkloadRunner  # deferred: experiment imports us
 
     runner = WorkloadRunner(
@@ -84,6 +89,8 @@ def execute_job(job: SuiteJob) -> Dict[str, SimulationResult]:
         ndp_configuration=job.ndp_configuration,
         baseline_configuration=job.baseline_configuration,
     )
+    if len(job.policies) >= 2:
+        return runner.run_grid(job.policies)
     return {policy.label: runner.run(policy) for policy in job.policies}
 
 

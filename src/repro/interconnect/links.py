@@ -82,6 +82,19 @@ class LinkFabric:
         except KeyError:
             raise SimulationError(f"no cross-stack link {src}->{dst}") from None
 
+    def cross_pair(
+        self, src: int, dst: int
+    ) -> Tuple[BandwidthResource, BandwidthResource]:
+        """Both directions of one stack pair — the remote-access path
+        always ships a request ``src->dst`` and a reply ``dst->src``, so
+        resolving them together halves the dict probes on that path."""
+        try:
+            return self.cross[(src, dst)], self.cross[(dst, src)]
+        except KeyError:
+            raise SimulationError(
+                f"no cross-stack link pair {src}<->{dst}"
+            ) from None
+
     def traffic(self) -> TrafficBreakdown:
         return TrafficBreakdown(
             gpu_memory_rx=sum(link.units_moved for link in self.rx),

@@ -35,6 +35,40 @@ from ..obs.recorder import NULL_RECORDER
 from .monitor import ChannelBusyMonitor
 
 
+#: Which ``ControlConfig`` fields each code path reads, grouped by the
+#: condition under which the read happens. The lockstep grid engine
+#: (:mod:`repro.core.gridrun`) uses these sets to null out the fields a
+#: lane's policy can never observe before fingerprinting its config for
+#: cross-variant deduplication — keep them in sync with the readers:
+#: ``_decide`` below, :class:`~repro.ndp.monitor.ChannelBusyMonitor`,
+#: :class:`~repro.core.system._IssueBacklogSignal`,
+#: :class:`~repro.ndp.coherence.CoherenceProtocol`, and
+#: :class:`~repro.mapping.transparent.TransparentDataMapping`.
+#: Read whenever the policy offloads with a real (non-IDEAL) decision
+#: path: the condition check, the decision latency, and the coherence
+#: invalidation charges.
+CONTROL_FIELDS_OFFLOAD = (
+    "respect_conditions",
+    "offload_decision_cycles",
+    "coherence_invalidate_cycles",
+)
+#: Read only under dynamic aggressiveness control (``CONTROLLED``).
+CONTROL_FIELDS_DYNAMIC = (
+    "channel_busy_threshold",
+    "monitor_window_cycles",
+    "alu_aware_control",
+    "alu_fraction_threshold",
+)
+#: Read only by the tmap learning runtime (``learn_fraction`` /
+#: ``min_learn_instances`` size the learning phase,
+#: ``min_learned_colocation`` gates the hybrid-mapping switch).
+CONTROL_FIELDS_LEARNING = (
+    "learn_fraction",
+    "min_learn_instances",
+    "min_learned_colocation",
+)
+
+
 class DecisionReason(enum.Enum):
     """Why the controller offloaded or refused a candidate instance."""
 

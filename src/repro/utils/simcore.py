@@ -49,24 +49,45 @@ from ..errors import SimulationError
 class Engine:
     """Event heap + clock. All times are float cycles, monotonically
     non-decreasing. Event ordering at equal times is insertion order,
-    which keeps runs fully deterministic."""
+    which keeps runs fully deterministic.
 
-    __slots__ = ("now", "_heap", "_seq", "_event_count")
+    Zero-delay schedules — process spawns, slot grants, ``Put``
+    resumes, join completions — are roughly half of all events, and a
+    heap push/pop per event is the engine's single largest cost. They
+    go to a FIFO *now-queue* instead: every entry carries the global
+    sequence number, and the run loop merges the queue with the heap by
+    comparing sequence numbers whenever the heap's top is at the
+    current time. Because the queue is fully drained before the clock
+    advances (a queue entry is always at ``now``), the merged execution
+    order is exactly the (time, seq) order of the pure-heap scheme —
+    bit-identical results, ~O(1) instead of O(log n) for half the
+    events."""
+
+    __slots__ = ("now", "_heap", "_nowq", "_seq", "_event_count")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[tuple] = []
+        self._nowq: Deque[tuple] = deque()
         self._seq = 0
         self._event_count = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` cycles from now."""
+        if delay == 0.0:
+            self._nowq.append((self._seq, callback))
+            self._seq += 1
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
         self._seq += 1
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time == self.now:
+            self._nowq.append((self._seq, callback))
+            self._seq += 1
+            return
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
@@ -83,22 +104,43 @@ class Engine:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event heap; returns the final simulation time."""
         heap = self._heap
+        nowq = self._nowq
         pop = heapq.heappop
         if until is None and max_events is None:
             # Hot path: no bound checks, locals only.
-            while heap:
-                time, _seq, callback = pop(heap)
-                self.now = time
-                self._event_count += 1
-                callback()
-            return self.now
-        while heap:
-            time, _seq, callback = heap[0]
-            if until is not None and time > until:
+            while True:
+                if nowq:
+                    if heap:
+                        top = heap[0]
+                        if top[0] == self.now and top[1] < nowq[0][0]:
+                            self._event_count += 1
+                            pop(heap)[2]()
+                            continue
+                    self._event_count += 1
+                    nowq.popleft()[1]()
+                elif heap:
+                    time, _seq, callback = pop(heap)
+                    self.now = time
+                    self._event_count += 1
+                    callback()
+                else:
+                    return self.now
+        while heap or nowq:
+            use_heap = True
+            if nowq:
+                use_heap = bool(
+                    heap
+                    and heap[0][0] == self.now
+                    and heap[0][1] < nowq[0][0]
+                )
+            elif until is not None and heap[0][0] > until:
                 self.now = until
                 return self.now
-            pop(heap)
-            self.now = time
+            if use_heap:
+                time, _seq, callback = pop(heap)
+                self.now = time
+            else:
+                _seq, callback = nowq.popleft()
             self._event_count += 1
             if max_events is not None and self._event_count > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")

@@ -237,3 +237,24 @@ class TestWarmSuiteRunsNothing:
         monkeypatch.setattr(Simulator, "run", boom)
         warm = run_figure8_suite(scale=TraceScale.TINY, seed=0)
         assert warm == cold
+
+    def test_warm_figure8_suite_zero_constructions(self, monkeypatch):
+        """Stronger than zero ``run()`` calls: a warm supervised
+        Figure-8 run constructs no Simulator (grid lanes included —
+        ``_LaneSimulator`` inherits the patched ``__init__``) and
+        builds no trace. Guards the lockstep grid path's contract of
+        probing every lane's cache before touching the trace."""
+        cold = run_figure8_suite(scale=TraceScale.TINY, seed=0)
+
+        import repro.core.experiment as experiment
+
+        def boom_init(self, *args, **kwargs):
+            raise AssertionError("warm suite must not construct a Simulator")
+
+        def boom_trace(*args, **kwargs):
+            raise AssertionError("warm suite must not build a trace")
+
+        monkeypatch.setattr(Simulator, "__init__", boom_init)
+        monkeypatch.setattr(experiment, "build_trace", boom_trace)
+        warm = run_figure8_suite(scale=TraceScale.TINY, seed=0)
+        assert warm == cold

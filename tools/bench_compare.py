@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare a fresh microbenchmark baseline against the checked-in one.
+
+Usage::
+
+    python tools/bench_compare.py benchmarks/BENCH_engine.json /tmp/BENCH_engine.json
+
+Both files are baseline documents emitted by a ``bench_*.py --json``
+run (see ``benchmarks/_baseline.py``). Every metric present in the
+checked-in baseline is compared by its median value and direction; a
+change past the threshold (default 15%) against the metric's good
+direction is flagged as a REGRESSION and the exit code is 1. The CI
+step that runs this is non-gating (``continue-on-error``) — shared
+runners are too noisy to fail a build on — but the comparison lands in
+every run's log, so the perf trajectory is visible from the baseline's
+point zero onward. Differing measurement fingerprints (machine, python,
+numpy, parameters) are reported loudly since they make absolute
+comparisons unreliable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != 1 or "metrics" not in payload:
+        raise SystemExit(f"{path}: not a benchmark baseline document")
+    return payload
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> int:
+    if baseline.get("bench") != current.get("bench"):
+        raise SystemExit(
+            f"benchmark mismatch: baseline is {baseline.get('bench')!r}, "
+            f"current is {current.get('bench')!r}"
+        )
+    if baseline.get("fingerprint") != current.get("fingerprint"):
+        print(
+            "NOTE: measurement fingerprints differ (machine/python/numpy/"
+            "params) — absolute comparisons are unreliable here."
+        )
+
+    regressions = 0
+    print(f"{baseline['bench']}: threshold ±{threshold:.0%}")
+    for name, base in sorted(baseline["metrics"].items()):
+        entry = current["metrics"].get(name)
+        if entry is None:
+            print(f"  {name:>28}: MISSING from current run")
+            regressions += 1
+            continue
+        base_value = base["value"]
+        value = entry["value"]
+        unit = base.get("unit", "")
+        if base_value == 0:
+            print(f"  {name:>28}: baseline is zero, skipped")
+            continue
+        change = value / base_value - 1.0
+        # "lower is better" metrics regress when the value grows.
+        bad = change > threshold if base.get("direction", "lower") == "lower" else change < -threshold
+        verdict = "REGRESSION" if bad else "ok"
+        print(
+            f"  {name:>28}: {base_value:.6g}{unit} -> {value:.6g}{unit} "
+            f"({change:+.1%}) {verdict}"
+        )
+        if bad:
+            regressions += 1
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", help="freshly emitted baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative change flagged as a regression (default 0.15)",
+    )
+    args = parser.parse_args()
+    regressions = compare(load(args.baseline), load(args.current), args.threshold)
+    if regressions:
+        print(f"{regressions} metric(s) regressed past the threshold")
+        return 1
+    print("no regressions past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """End-to-end fault-injection drill (gating in CI; docs/ROBUSTNESS.md).
 
-Three acts over one small suite grid:
+Four acts over one small suite grid:
 
 1. a clean run — the reference results;
 2. the same run with an injected worker crash and a manifest — the
    crashing workload must fail *structurally* (a JobFailure, not a
    dead suite) while every healthy point stays bit-identical;
 3. a ``resume`` after the fault clears — only the failed workload may
-   re-run, and the final results must match the reference exactly.
+   re-run, and the final results must match the reference exactly;
+4. a fault injected into one *lockstep grid lane* — the lane must be
+   evicted to scalar replay while the rest of the grid stays on the
+   lockstep path, with every result still bit-identical.
 
 Run from the repository root::
 
@@ -23,6 +26,8 @@ import tempfile
 
 WORKLOADS = ["SP", "RD", "LIB"]
 CRASH_TARGET = "SP"
+LANE_TARGET = "RD"
+LANE_POLICY = "ctrl+tmap"
 
 
 def fail(message: str) -> None:
@@ -51,7 +56,7 @@ def main() -> None:
             **kwargs,
         )
 
-    print("[1/3] clean reference run ...")
+    print("[1/4] clean reference run ...")
     clean = run()
     if clean.failures or sorted(clean.results) != sorted(WORKLOADS):
         fail(f"clean run did not complete: {clean.failures}")
@@ -59,7 +64,7 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         manifest = os.path.join(tmp, "run.jsonl")
 
-        print(f"[2/3] crash injected into job/{CRASH_TARGET} ...")
+        print(f"[2/4] crash injected into job/{CRASH_TARGET} ...")
         os.environ["REPRO_FAULTS"] = f"crash@job/{CRASH_TARGET}"
         broken = run(manifest_path=manifest)
         del os.environ["REPRO_FAULTS"]
@@ -75,7 +80,7 @@ def main() -> None:
         print(f"      {CRASH_TARGET} failed structurally; "
               f"{', '.join(healthy)} bit-identical to clean run")
 
-        print("[3/3] resume after the fault cleared ...")
+        print("[3/4] resume after the fault cleared ...")
         resumed = run(manifest_path=manifest, resume=True)
         reran = [outcome.job.workload for outcome in resumed.outcomes]
         if reran != [CRASH_TARGET]:
@@ -86,6 +91,27 @@ def main() -> None:
             if resumed.results.get(name) != clean.results[name]:
                 fail(f"resumed workload {name} diverged from clean run")
         print(f"      only {CRASH_TARGET} re-ran; full grid matches the reference")
+
+    print(f"[4/4] fault injected into lockstep lane lane/{LANE_TARGET}/{LANE_POLICY} ...")
+    from repro.core.experiment import WorkloadRunner
+
+    os.environ["REPRO_FAULTS"] = f"raise@lane/{LANE_TARGET}/{LANE_POLICY}"
+    runner = WorkloadRunner(LANE_TARGET, scale=TraceScale.TINY)
+    lane_results = runner.run_grid(policies)
+    del os.environ["REPRO_FAULTS"]
+
+    report = runner.last_grid_report
+    if report is None:
+        fail("grid run did not engage the lockstep engine")
+    if report.evicted != [LANE_POLICY]:
+        fail(f"expected eviction of [{LANE_POLICY!r}] only, got {report.evicted}")
+    if report.simulated < 1:
+        fail("the rest of the grid must stay on the lockstep path")
+    for policy in policies:
+        if lane_results[policy.label] != clean.results[LANE_TARGET][policy.label]:
+            fail(f"lane-evicted grid diverged on {policy.label}")
+    print(f"      {LANE_POLICY} evicted to scalar replay; "
+          f"{report.simulated} lanes stayed lockstep; results bit-identical")
 
     print("FAULT SMOKE OK")
 
