@@ -1,9 +1,17 @@
-"""Raw event-engine throughput (events/second).
+"""Raw event-engine throughput (events/second), per backend.
 
 Not one of the paper's figures: every figure and table in the paper
-reproduction executes through ``repro.utils.simcore``, so this
-microbenchmark is the tracked perf baseline for engine changes — run it
-before and after touching the hot path and compare events/sec.
+reproduction executes through the event engine, so this microbenchmark
+is the tracked perf baseline for engine changes — run it before and
+after touching the hot path and compare events/sec.
+
+The engine has two interchangeable, bit-identical backends (see
+``repro.accel``): the pure-Python reference in ``repro.utils.simcore``
+and the compiled C core. The benchmark takes a ``--backend`` axis so
+each backend gets its own tracked baseline:
+
+* ``benchmarks/BENCH_engine.json`` — the pure-Python backend, and
+* ``benchmarks/BENCH_engine_compiled.json`` — the compiled backend.
 
 The synthetic process mix exercises every request type the simulator
 yields (Timeout, Acquire on a shared bandwidth resource, Get/Put on a
@@ -13,11 +21,15 @@ roughly the proportions a warp task does.
 Standalone usage (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --backend compiled --json benchmarks/BENCH_engine_compiled.json
 
 ``--json PATH`` additionally emits the machine-readable baseline
 (median-of-k wall times; see ``benchmarks/_baseline.py``) that
-``tools/bench_compare.py`` diffs against the checked-in
-``benchmarks/BENCH_engine.json``.
+``tools/bench_compare.py`` diffs against the checked-in documents. The
+fingerprint records which backend produced the numbers — and, for the
+compiled backend, the compiler that built it — so cross-backend diffs
+are recognizable as such rather than mistaken for regressions.
 """
 
 from __future__ import annotations
@@ -25,15 +37,12 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.accel import build_info, compiled_available, get_backend
 from repro.utils.simcore import (
     Acquire,
     AllOf,
-    BandwidthResource,
-    Engine,
-    Event,
     Get,
     Put,
-    SlotPool,
     Timeout,
     Wait,
 )
@@ -41,12 +50,12 @@ from repro.utils.simcore import (
 N_TASKS = 20_000
 
 
-def build_synthetic_engine(n_tasks: int = N_TASKS) -> Engine:
+def build_synthetic_engine(n_tasks: int = N_TASKS, backend: str = "auto"):
     """An engine loaded with ``n_tasks`` warp-task-shaped processes."""
-    engine = Engine()
-    link = BandwidthResource(engine, "link", rate=8.0, latency=3.0)
-    pool = SlotPool(engine, "slots", capacity=64)
-    gate = Event(engine)
+    engine = get_backend(backend).Engine()
+    link = engine.bandwidth_resource("link", rate=8.0, latency=3.0)
+    pool = engine.slot_pool("slots", capacity=64)
+    gate = engine.event()
     engine.schedule(50.0, gate.succeed)
 
     def child():
@@ -68,13 +77,15 @@ def build_synthetic_engine(n_tasks: int = N_TASKS) -> Engine:
     return engine
 
 
-def measure_wall_times(n_tasks: int = N_TASKS, repeats: int = 5):
+def measure_wall_times(
+    n_tasks: int = N_TASKS, repeats: int = 5, backend: str = "auto"
+):
     """``repeats`` wall-time samples over the synthetic mix, plus the
     (constant) event count of one run."""
     samples = []
     events = 0
     for _ in range(repeats):
-        engine = build_synthetic_engine(n_tasks)
+        engine = build_synthetic_engine(n_tasks, backend=backend)
         start = time.perf_counter()
         engine.run()
         samples.append(time.perf_counter() - start)
@@ -82,10 +93,22 @@ def measure_wall_times(n_tasks: int = N_TASKS, repeats: int = 5):
     return samples, events
 
 
-def measure_events_per_second(n_tasks: int = N_TASKS, repeats: int = 3) -> float:
+def measure_events_per_second(
+    n_tasks: int = N_TASKS, repeats: int = 3, backend: str = "auto"
+) -> float:
     """Best-of-``repeats`` events/sec over the synthetic mix."""
-    samples, events = measure_wall_times(n_tasks, repeats)
+    samples, events = measure_wall_times(n_tasks, repeats, backend=backend)
     return events / min(samples)
+
+
+def _backend_params(backend: str) -> dict:
+    """Fingerprint additions identifying the measured backend."""
+    resolved = get_backend(backend).name
+    params = {"engine_backend": resolved}
+    if resolved == "compiled":
+        info = build_info() or {}
+        params["compiler"] = info.get("compiler", "unknown")
+    return params
 
 
 def test_engine_throughput(benchmark):
@@ -101,7 +124,8 @@ def test_engine_throughput(benchmark):
     engine = engine_holder["engine"]
     events_per_sec = engine.events_processed / benchmark.stats["min"]
     print(
-        f"\nengine throughput: {engine.events_processed} events, "
+        f"\nengine throughput ({engine.backend}): "
+        f"{engine.events_processed} events, "
         f"best {events_per_sec:,.0f} events/sec"
     )
     # Sanity floor only — the number to watch is the printed events/sec.
@@ -115,25 +139,45 @@ def main() -> None:
         metavar="PATH",
         help="emit the machine-readable baseline document",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "python", "compiled"],
+        help="measure one backend (default: every available backend; "
+        "--json requires picking one)",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args()
 
-    samples, events = measure_wall_times(repeats=args.repeats)
-    events_per_sec = events / min(samples)
-    print(
-        f"engine throughput: {events_per_sec:,.0f} events/sec "
-        f"({events} events, best of {args.repeats})"
-    )
-    if args.json:
-        from _baseline import emit, metric
+    if args.backend is not None:
+        backends = [args.backend]
+    else:
+        backends = ["python"] + (["compiled"] if compiled_available() else [])
+    if args.json and len(backends) > 1:
+        parser.error("--json needs --backend to pin which backend to record")
 
-        emit(
-            args.json,
-            "engine_throughput",
-            {"synthetic_mix_wall": metric(samples)},
-            n_tasks=N_TASKS,
-            events=events,
+    for backend in backends:
+        samples, events = measure_wall_times(
+            repeats=args.repeats, backend=backend
         )
+        events_per_sec = events / min(samples)
+        resolved = get_backend(backend).name
+        print(
+            f"engine throughput [{resolved}]: "
+            f"{events_per_sec:,.0f} events/sec "
+            f"({events} events, best of {args.repeats})"
+        )
+        if args.json:
+            from _baseline import emit, metric
+
+            emit(
+                args.json,
+                "engine_throughput",
+                {"synthetic_mix_wall": metric(samples)},
+                n_tasks=N_TASKS,
+                events=events,
+                **_backend_params(backend),
+            )
 
 
 if __name__ == "__main__":

@@ -1,6 +1,31 @@
 """Shim so ``pip install -e . --no-use-pep517`` works on environments
-without the ``wheel`` package (all metadata lives in pyproject.toml)."""
+without the ``wheel`` package (all metadata lives in pyproject.toml).
 
-from setuptools import setup
+Also declares the optional compiled engine extension
+(``repro.accel._core``). The extension is marked ``optional=True``: on a
+machine without a C compiler the build logs a warning and the install
+still succeeds — the package then runs on the pure-Python engine in
+``repro.utils.simcore`` (see ``repro/accel/__init__.py``).
 
-setup()
+Build in place for a source checkout (puts the ``.so`` next to
+``src/repro/accel/__init__.py`` where ``PYTHONPATH=src`` finds it)::
+
+    python setup.py build_ext --inplace
+
+The float-determinism flags matter: ``-ffp-contract=off`` and
+``-fno-fast-math`` forbid FMA contraction and other value-changing
+reassociations, so the compiled engine performs bit-identical IEEE-754
+arithmetic to CPython's interpreter and the two backends produce
+bit-identical simulation results.
+"""
+
+from setuptools import Extension, setup
+
+_core = Extension(
+    "repro.accel._core",
+    sources=["src/repro/accel/_core.c"],
+    extra_compile_args=["-O2", "-ffp-contract=off", "-fno-fast-math"],
+    optional=True,  # no compiler -> warn and fall back to pure Python
+)
+
+setup(ext_modules=[_core])

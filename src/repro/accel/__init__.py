@@ -1,0 +1,182 @@
+"""Engine backend selection: compiled simcore core with Python fallback.
+
+The discrete-event engine in :mod:`repro.utils.simcore` has two
+interchangeable implementations:
+
+``python``
+    The pure-Python reference in ``repro/utils/simcore.py``. Always
+    available; the semantic ground truth.
+``compiled``
+    A CPython extension (``repro/accel/_core.c``) implementing the same
+    ``Engine`` / ``Event`` / ``Process`` / ``BandwidthResource`` /
+    ``SlotPool`` surface with bit-identical event ordering and float
+    arithmetic. Built optionally (``python setup.py build_ext
+    --inplace``); when the extension is missing the engine silently
+    degrades to the reference implementation.
+
+Selection is runtime, not import-time:
+
+- ``REPRO_ENGINE=compiled|python|auto`` (environment; the CLI's
+  ``--engine`` flag writes this so worker processes inherit it);
+- ``auto`` (the default) uses the compiled core when the extension is
+  importable and the reference engine otherwise — safe because the two
+  backends are bit-identical (asserted over random programs and the
+  full Figure-8 SMALL grid in ``tests/test_engine_backends.py``);
+- ``compiled`` without a built extension falls back to ``python`` with
+  a one-line :class:`RuntimeWarning` instead of an error, so a
+  checkout with no C compiler keeps working.
+
+Everything that builds an engine goes through :func:`make_engine`
+(``NDPSystem`` does), and every component attached to an engine is
+created through the engine's own factory methods
+(``engine.bandwidth_resource(...)``, ``engine.slot_pool(...)``,
+``engine.event()``), so one selection point switches the whole
+simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+#: Recognised backend names (``auto`` resolves to one of the others).
+BACKEND_NAMES = ("auto", "compiled", "python")
+
+_UNSET = object()
+_compiled_module = _UNSET  # cached import result (module or None)
+_warned_fallback = False
+
+
+def _import_compiled():
+    """Import and register the compiled core; one attempt per process."""
+    global _compiled_module
+    if os.environ.get("REPRO_ACCEL_DISABLE"):
+        # Test/diagnostic hook: behave exactly like an unbuilt extension.
+        return None
+    if _compiled_module is not _UNSET:
+        return _compiled_module
+    try:
+        from . import _core
+    except ImportError:
+        _compiled_module = None
+        return None
+    from ..errors import SimulationError
+    from ..utils import simcore
+
+    # The compiled engine dispatches on the *shared* request dataclasses
+    # from simcore, so simulator code yields the same objects to either
+    # backend.
+    _core._register(
+        SimulationError,
+        simcore.Timeout,
+        simcore.Acquire,
+        simcore.Get,
+        simcore.Put,
+        simcore.Wait,
+        simcore.AllOf,
+    )
+    _compiled_module = _core
+    return _core
+
+
+def compiled_available() -> bool:
+    """Is the compiled engine extension importable in this process?"""
+    return _import_compiled() is not None
+
+
+def build_info() -> Optional[dict]:
+    """Compiler fingerprint of the built extension, or None."""
+    module = _import_compiled()
+    return dict(module.BUILD_INFO) if module is not None else None
+
+
+def resolve_backend_name(requested: Optional[str] = None) -> str:
+    """Resolve a request (argument, else ``REPRO_ENGINE``, else ``auto``)
+    to the concrete backend that will run: ``compiled`` or ``python``."""
+    global _warned_fallback
+    name = requested or os.environ.get("REPRO_ENGINE") or "auto"
+    name = name.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown engine backend {name!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if name == "python":
+        return "python"
+    if compiled_available():
+        return "compiled"
+    if name == "compiled" and not _warned_fallback:
+        # Requested explicitly but not built: degrade loudly-but-once.
+        _warned_fallback = True
+        warnings.warn(
+            "REPRO_ENGINE=compiled requested but the compiled engine "
+            "extension is not built; falling back to the pure-Python "
+            "engine (build it with: python setup.py build_ext --inplace)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "python"
+
+
+@dataclass(frozen=True)
+class EngineBackend:
+    """One backend's class namespace (benchmarks and tests fan out
+    over these; simulation code should use :func:`make_engine` and the
+    engine's factory methods instead)."""
+
+    name: str
+    Engine: type
+    Event: type
+    Process: type
+    BandwidthResource: type
+    SlotPool: type
+
+
+def get_backend(name: Optional[str] = None) -> EngineBackend:
+    """The resolved backend's classes (after fallback resolution)."""
+    resolved = resolve_backend_name(name)
+    if resolved == "compiled":
+        module = _import_compiled()
+        return EngineBackend(
+            name="compiled",
+            Engine=module.Engine,
+            Event=module.Event,
+            Process=module.Process,
+            BandwidthResource=module.BandwidthResource,
+            SlotPool=module.SlotPool,
+        )
+    from ..utils import simcore
+
+    return EngineBackend(
+        name="python",
+        Engine=simcore.Engine,
+        Event=simcore.Event,
+        Process=simcore.Process,
+        BandwidthResource=simcore.BandwidthResource,
+        SlotPool=simcore.SlotPool,
+    )
+
+
+def make_engine(backend: Optional[str] = None):
+    """Construct an engine on the selected backend.
+
+    This is the single engine-construction seam: ``NDPSystem`` (and
+    through it every simulation, grid lane, and benchmark run) calls
+    this instead of naming an Engine class.
+    """
+    return get_backend(backend).Engine()
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "EngineBackend",
+    "build_info",
+    "compiled_available",
+    "get_backend",
+    "make_engine",
+    "resolve_backend_name",
+]

@@ -54,6 +54,7 @@ from . import (
     WorkloadRunner,
     make_workload,
 )
+from .accel import BACKEND_NAMES
 from .errors import ReproError
 from .workloads.suite import SUITE_ORDER
 
@@ -75,7 +76,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="simulate one workload under one policy")
+    # Shared by every simulating subcommand. The choice is exported as
+    # REPRO_ENGINE before any simulation starts, so suite worker
+    # processes inherit it too. Backends are bit-identical; "auto"
+    # (default) uses the compiled core when its extension is built.
+    engine_parent = argparse.ArgumentParser(add_help=False)
+    engine_parent.add_argument(
+        "--engine",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="event-engine backend: auto (default), compiled, or python",
+    )
+
+    run = sub.add_parser(
+        "run",
+        help="simulate one workload under one policy",
+        parents=[engine_parent],
+    )
     run.add_argument("workload", choices=SUITE_ORDER)
     run.add_argument(
         "--policy", default="ctrl+tmap", choices=sorted(_POLICIES)
@@ -98,7 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "busy monitor's window)",
     )
 
-    suite = sub.add_parser("suite", help="Figure 8 policy grid over the suite")
+    suite = sub.add_parser(
+        "suite",
+        help="Figure 8 policy grid over the suite",
+        parents=[engine_parent],
+    )
     suite.add_argument("--scale", default="SMALL", choices=[s.name for s in TraceScale])
     suite.add_argument("--seed", type=int, default=0)
     suite.add_argument(
@@ -130,7 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restore completed points from --manifest; run only the rest",
     )
 
-    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure = sub.add_parser(
+        "figure",
+        help="regenerate one paper figure",
+        parents=[engine_parent],
+    )
     figure.add_argument("name", choices=_FIGURES)
     figure.add_argument("--scale", default=None, choices=[s.name for s in TraceScale])
 
@@ -152,7 +177,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     bundle = sub.add_parser(
-        "bundle", help="write every figure (txt+csv+json) into a directory"
+        "bundle",
+        help="write every figure (txt+csv+json) into a directory",
+        parents=[engine_parent],
     )
     bundle.add_argument("directory")
     bundle.add_argument("--figures", nargs="*", default=None)
@@ -327,6 +354,11 @@ def _cmd_bundle(args) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    # Export the engine choice before any simulation is constructed so
+    # suite worker processes (spawned with a copy of the environment)
+    # pick the same backend as the parent.
+    if getattr(args, "engine", None):
+        os.environ["REPRO_ENGINE"] = args.engine
     try:
         code = {
             "run": _cmd_run,

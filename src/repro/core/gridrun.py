@@ -43,6 +43,13 @@ fresh per-variant :class:`~repro.core.experiment.WorkloadRunner`
 (asserted over the full Figure-8 SMALL grid in ``tests/test_gridrun.py``).
 Lockstep runs never trace (they bypass observability exactly like
 cache hits do); ``REPRO_NO_GRID=1`` disables the engine entirely.
+
+Grid lanes inherit the event-engine backend like every other run:
+``_LaneSimulator`` extends :class:`Simulator`, whose
+:class:`~repro.core.system.NDPSystem` builds its engine through
+:func:`repro.accel.make_engine` — so ``REPRO_ENGINE=compiled`` (or
+``repro run --engine compiled``) switches grid runs to the compiled
+core too, with bit-identical lane results.
 """
 
 from __future__ import annotations

@@ -74,6 +74,7 @@ class Simulator:
         oracle_position: Optional[int] = None,
         recorder=None,
         oracle_learned=None,
+        engine_backend: Optional[str] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -84,7 +85,12 @@ class Simulator:
         # untraced run pays one branch per hook and stays bit-identical.
         self._recorder = recorder if recorder is not None else NULL_RECORDER
         self._trace_on = self._recorder.enabled
-        self.system = NDPSystem(config, policy, recorder=self._recorder)
+        # ``engine_backend`` selects the event-engine implementation
+        # ("python"/"compiled"/"auto"); None defers to REPRO_ENGINE. The
+        # two backends are bit-identical, so this is purely a speed knob.
+        self.system = NDPSystem(
+            config, policy, recorder=self._recorder, engine_backend=engine_backend
+        )
         if self._trace_on:
             self._recorder.bind(self.system.engine, self.system, config)
         self.line_bits = ilog2(config.messages.cache_line_bytes)
@@ -599,6 +605,14 @@ def simulate(
     policy: RunPolicy,
     oracle_position: Optional[int] = None,
     recorder=None,
+    engine_backend: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience one-shot API."""
-    return Simulator(trace, config, policy, oracle_position, recorder=recorder).run()
+    return Simulator(
+        trace,
+        config,
+        policy,
+        oracle_position,
+        recorder=recorder,
+        engine_backend=engine_backend,
+    ).run()

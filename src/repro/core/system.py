@@ -21,8 +21,8 @@ from ..ndp.coherence import CoherenceProtocol
 from ..ndp.controller import OffloadController
 from ..ndp.monitor import ChannelBusyMonitor
 from ..ndp.translation import StackTranslation
+from ..accel import make_engine
 from ..obs.recorder import NULL_RECORDER
-from ..utils.simcore import Engine, SlotPool
 from .policies import OffloadPolicy, RunPolicy
 
 #: Slot capacity used for the IDEAL offload policy's stack SMs
@@ -49,7 +49,11 @@ class NDPSystem:
     """All hardware state for one run."""
 
     def __init__(
-        self, config: SystemConfig, policy: RunPolicy, recorder=NULL_RECORDER
+        self,
+        config: SystemConfig,
+        policy: RunPolicy,
+        recorder=NULL_RECORDER,
+        engine_backend: Optional[str] = None,
     ) -> None:
         if policy.offloads and not config.ndp_enabled:
             raise ConfigError(
@@ -58,7 +62,12 @@ class NDPSystem:
             )
         self.config = config
         self.policy = policy
-        self.engine = Engine()
+        # Engine construction goes through the backend factory
+        # (repro/accel): REPRO_ENGINE / --engine pick the compiled core
+        # or the pure-Python reference; results are bit-identical either
+        # way. Every component below is created through the engine's own
+        # factory methods so the whole system follows this one choice.
+        self.engine = make_engine(engine_backend)
         self.fabric = LinkFabric(self.engine, config)
         self.packets = PacketSizes(config.messages)
         self.stacks: List[MemoryStack] = build_stacks(self.engine, config)
@@ -108,8 +117,8 @@ class NDPSystem:
         """Figure 2's idealized offload: unbounded stack-SM warp slots
         and issue throughput — memory bandwidth is the only limit."""
         for sm in self.stack_sms:
-            sm.slots = SlotPool(
-                self.engine, f"{sm.name}/slots", _UNBOUNDED_SLOTS
+            sm.slots = self.engine.slot_pool(
+                f"{sm.name}/slots", _UNBOUNDED_SLOTS
             )
             sm.issue.rate = float(_IDEAL_ISSUE_RATE)
         self.controller.max_pending = _UNBOUNDED_SLOTS

@@ -14,7 +14,7 @@ from typing import List
 
 from ..config import SystemConfig
 from ..memory.cache import Cache
-from ..utils.simcore import BandwidthResource, Engine, SlotPool
+from ..utils.simcore import Engine
 
 
 class StreamingMultiprocessor:
@@ -32,15 +32,15 @@ class StreamingMultiprocessor:
         cta_slots: int = 0,
     ) -> None:
         self.name = name
-        self.slots = SlotPool(engine, f"{name}/slots", warp_slots)
+        self.slots = engine.slot_pool(f"{name}/slots", warp_slots)
         # CTA residency: warp *tasks* (CTA-scale work units) are admitted
         # through this pool, so new work enters only as resident work
         # retires — the self-clocking that keeps queue depths bounded on
         # real GPUs. Stack SMs admit through `slots` instead.
-        self.cta_slots = SlotPool(
-            engine, f"{name}/ctas", cta_slots if cta_slots > 0 else warp_slots
+        self.cta_slots = engine.slot_pool(
+            f"{name}/ctas", cta_slots if cta_slots > 0 else warp_slots
         )
-        self.issue = BandwidthResource(engine, f"{name}/issue", issue_per_cycle)
+        self.issue = engine.bandwidth_resource(f"{name}/issue", issue_per_cycle)
         self.l1 = Cache(l1_bytes, l1_ways, line_bytes, name=f"{name}/L1")
         self.instructions_issued = 0
 

@@ -55,22 +55,21 @@ class LinkFabric:
         latency = config.links.link_latency_cycles
 
         self.tx: List[BandwidthResource] = [
-            BandwidthResource(engine, f"tx{s}", gpu_rate, latency)
+            engine.bandwidth_resource(f"tx{s}", gpu_rate, latency)
             for s in range(n_stacks)
         ]
         self.rx: List[BandwidthResource] = [
-            BandwidthResource(engine, f"rx{s}", gpu_rate, latency)
+            engine.bandwidth_resource(f"rx{s}", gpu_rate, latency)
             for s in range(n_stacks)
         ]
         self.cross: Dict[Tuple[int, int], BandwidthResource] = {}
         for src in range(n_stacks):
             for dst in range(n_stacks):
                 if src != dst:
-                    self.cross[(src, dst)] = BandwidthResource(
-                        engine, f"cross{src}->{dst}", cross_rate, latency
+                    self.cross[(src, dst)] = engine.bandwidth_resource(
+                        f"cross{src}->{dst}", cross_rate, latency
                     )
-        self.pcie = BandwidthResource(
-            engine,
+        self.pcie = engine.bandwidth_resource(
             "pcie",
             config.bytes_per_cycle(config.links.pcie_gbps),
             config.links.pcie_latency_cycles,

@@ -17,7 +17,7 @@ from typing import List, Sequence
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..utils.bitops import ilog2
-from ..utils.simcore import BandwidthResource, Engine
+from ..utils.simcore import Engine
 
 
 @dataclass
@@ -46,8 +46,8 @@ class Vault:
         banks: int = 16,
         interleave_bits: int = 6,
     ) -> None:
-        self.resource = BandwidthResource(
-            engine, name, rate=bytes_per_cycle, latency=latency_cycles
+        self.resource = engine.bandwidth_resource(
+            name, rate=bytes_per_cycle, latency=latency_cycles
         )
         # A vault stores only every 2**interleave_bits-th cache line
         # (stack + vault interleaving sits between the line offset and

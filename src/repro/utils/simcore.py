@@ -24,6 +24,18 @@ This is intentionally a minimal subset of what a library like simpy
 offers — just enough to express the paper's queueing structure while
 remaining dependency-free and fast.
 
+This module is the **pure-Python reference backend**. A compiled
+backend with the same API surface and bit-identical semantics lives in
+:mod:`repro.accel` (``repro/accel/_core.c``, built optionally);
+``repro.accel.make_engine`` picks between them at runtime
+(``REPRO_ENGINE``, CLI ``--engine``). Components that belong to an
+engine are created through the engine's factory methods —
+``engine.event()``, ``engine.bandwidth_resource(...)``,
+``engine.slot_pool(...)`` — so the whole simulation follows whichever
+backend built the engine. When changing engine semantics here, mirror
+the change in ``_core.c`` (the dual-backend property tests in
+``tests/test_engine_backends.py`` will catch drift).
+
 The engine is the hottest code in the repository (every simulated cycle
 of every figure goes through it), so the implementation trades a little
 prettiness for speed: request types and the runtime objects carry
@@ -65,12 +77,30 @@ class Engine:
 
     __slots__ = ("now", "_heap", "_nowq", "_seq", "_event_count")
 
+    #: Backend tag; the compiled engine reports "compiled".
+    backend = "python"
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[tuple] = []
         self._nowq: Deque[tuple] = deque()
         self._seq = 0
         self._event_count = 0
+
+    # -- backend factories ---------------------------------------------
+    # Components bound to an engine are created through these, so code
+    # holding any engine (python or compiled) builds matching parts.
+
+    def event(self) -> "Event":
+        return Event(self)
+
+    def bandwidth_resource(
+        self, name: str, rate: float, latency: float = 0.0
+    ) -> "BandwidthResource":
+        return BandwidthResource(self, name, rate, latency)
+
+    def slot_pool(self, name: str, capacity: int) -> "SlotPool":
+        return SlotPool(self, name, capacity)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` cycles from now."""
