@@ -12,7 +12,6 @@ regular fixed-offset workloads driving the gain.
 """
 
 from repro.analysis.figures import figure3
-from repro.workloads.suite import SUITE_ORDER
 
 
 def test_figure3_ideal_mapping_speedup(figure):

@@ -11,7 +11,6 @@ overhead.
 
 from repro.analysis.figures import figure8
 from repro.core.policies import NDP_CTRL_TMAP, NDP_NOCTRL_BMAP
-from repro.utils.stats import geometric_mean
 from repro.workloads.suite import SUITE_ORDER
 from suite_cache import figure8_results
 
@@ -60,7 +59,7 @@ def test_figure8_offloaded_instruction_fractions(benchmark):
 
 def test_figure8_coherence_overhead_is_small(benchmark):
     """Section 4.4.2: the 3-step coherence protocol costs ~1.2%."""
-    from repro import TraceScale, WorkloadRunner, ndp_config
+    from repro import TraceScale, WorkloadRunner
     import dataclasses
     from repro.core.policies import NDP_CTRL_BMAP
     from repro.core.simulator import Simulator

@@ -7,12 +7,7 @@ Paper: offloading every candidate with tmap cuts off-chip traffic by
 memory-to-memory (cross-stack) traffic ~2.5x relative to bmap.
 """
 
-from repro.core.policies import (
-    NDP_CTRL_BMAP,
-    NDP_CTRL_TMAP,
-    NDP_NOCTRL_BMAP,
-    NDP_NOCTRL_TMAP,
-)
+from repro.core.policies import NDP_NOCTRL_BMAP, NDP_NOCTRL_TMAP
 from repro.analysis.figures import figure9
 from repro.workloads.suite import SUITE_ORDER
 from suite_cache import figure8_results

@@ -10,10 +10,9 @@ against the best consecutive-bit mapping learned from the first 0.1%,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..config import SystemConfig
-from ..errors import AnalysisError
 from ..mapping.transparent import colocation_under_mapping, learn_offline
 from ..memory.address_mapping import (
     BaselineMapping,

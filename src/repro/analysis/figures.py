@@ -18,23 +18,18 @@ processes (``REPRO_JOBS``) and reuses the persistent result cache
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..compiler.metadata import ENTRY_BITS, TABLE_ENTRIES
-from ..config import SystemConfig, ndp_config
+from ..config import SystemConfig, env_text, ndp_config
 from ..core.experiment import run_suite, suite_ratios, suite_speedups
 from ..core.policies import (
     FIGURE8_GRID,
     IDEAL_NDP,
-    NDP_CTRL_BMAP,
-    NDP_CTRL_ORACLE,
     NDP_CTRL_TMAP,
     NDP_NOCTRL_BMAP,
     NDP_NOCTRL_ORACLE,
-    NDP_NOCTRL_TMAP,
-    RunPolicy,
 )
 from ..core.results import SimulationResult
 from ..energy.area import estimate_area
@@ -51,7 +46,7 @@ SuiteResults = Dict[str, Dict[str, SimulationResult]]
 
 
 def default_scale() -> TraceScale:
-    name = os.environ.get("REPRO_BENCH_SCALE", "SMALL").upper()
+    name = env_text("REPRO_BENCH_SCALE", "SMALL").upper()
     return TraceScale[name]
 
 

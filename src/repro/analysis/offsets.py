@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import AnalysisError
-from ..gpu.warp import CandidateSegment, WarpTask
+from ..gpu.warp import WarpTask
 
 #: Figure 5's legend, in its order.
 BUCKETS = (

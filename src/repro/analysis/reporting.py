@@ -8,7 +8,7 @@ mirroring the paper's grouped bar charts.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..errors import AnalysisError
 

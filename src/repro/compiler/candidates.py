@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..config import CompilerConfig, MessageConfig
 from ..errors import CompilerError
-from ..isa.instructions import Instruction, OpClass
+from ..isa.instructions import OpClass
 from ..isa.kernel import Kernel
 from .cfg import Cfg
 from .constprop import constant_entry_registers

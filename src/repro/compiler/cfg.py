@@ -9,7 +9,7 @@ machinery) and feed the natural-loop detection in :mod:`.loops`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Sequence, Set
 
 from ..errors import CompilerError
 from ..isa.instructions import Instruction

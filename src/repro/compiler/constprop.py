@@ -24,9 +24,9 @@ any other outside write before entry.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence
 
-from ..isa.instructions import Instruction, Opcode
+from ..isa.instructions import Opcode
 from ..isa.kernel import Kernel
 from .cfg import Cfg
 

@@ -17,7 +17,7 @@ instruction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
 from ..errors import CompilerError
 from ..isa.kernel import Kernel
@@ -139,7 +139,7 @@ def loop_live_registers(
         writes.update(instr.writes)
 
     exit_live: Set[str] = set()
-    for block_index in loop_blocks:
+    for block_index in sorted(loop_blocks):
         for successor in cfg.blocks[block_index].successors:
             if successor not in loop_blocks:
                 exit_live |= liveness.block_live_in[successor]

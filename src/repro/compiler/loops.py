@@ -25,10 +25,9 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
-from ..errors import CompilerError
 from ..isa.instructions import Instruction, Opcode, is_register
 from ..isa.kernel import Kernel
-from .cfg import BasicBlock, Cfg
+from .cfg import Cfg
 
 
 class TripKind(enum.Enum):
@@ -100,7 +99,7 @@ def _natural_loop(cfg: Cfg, header: int, tail: int) -> Loop:
                 stack.append(pred)
     start = min(cfg.blocks[b].start for b in body)
     end = max(cfg.blocks[b].end for b in body)
-    covered = sum(len(cfg.blocks[b]) for b in body)
+    covered = sum(len(cfg.blocks[b]) for b in sorted(body))
     return Loop(
         header=header,
         blocks=frozenset(body),

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import CompilerError
-from .candidates import OffloadCandidate, OffloadCondition, SelectionResult
+from .candidates import OffloadCondition, SelectionResult
 
 #: Bits per metadata entry, following Section 6.6: two PCs (2 x 32),
 #: live-in and live-out register bit vectors (2 x 64 for the PTX 1.4

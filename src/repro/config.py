@@ -19,10 +19,32 @@ are converted with :func:`SystemConfig.bytes_per_cycle`.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 from .errors import ConfigError
 from .utils.bitops import ilog2, is_power_of_two
+
+
+def env_text(name: str, default: str = "") -> str:
+    """The sanctioned ``os.environ`` read (see docs/LINT.md, rule ND03).
+
+    Every ``REPRO_*`` knob flows through here (or one of the other seam
+    modules) so the full set of environment inputs stays auditable in
+    one place; simulation results must remain a pure function of
+    (config, workload, seed) plus these few documented switches.
+    """
+    return os.environ.get(name, default)
+
+
+def env_flag(name: str) -> bool:
+    """True when ``name`` is set to a truthy flag value.
+
+    Exactly ``"1"``, ``"true"`` or ``"yes"`` — no stripping or case
+    folding, preserving the historical behaviour of every call site
+    bit-for-bit.
+    """
+    return env_text(name) in ("1", "true", "yes")
 
 
 @dataclass(frozen=True)

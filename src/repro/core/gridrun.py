@@ -57,11 +57,10 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import SystemConfig
+from ..config import SystemConfig, env_flag
 from ..errors import ConfigError
 from ..gpu.warp import CandidateSegment, WarpAccess
 from ..mapping.transparent import TransparentDataMapping, candidate_instances, learn_offline
@@ -89,7 +88,7 @@ from .simulator import _L2_HIT_LATENCY, Simulator
 
 def lockstep_enabled() -> bool:
     """The grid engine is on unless ``REPRO_NO_GRID`` is truthy."""
-    return os.environ.get("REPRO_NO_GRID", "") not in ("1", "true", "yes")
+    return not env_flag("REPRO_NO_GRID")
 
 
 def trace_fingerprint(config: SystemConfig) -> str:

@@ -37,7 +37,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import SystemConfig
+from ..config import SystemConfig, env_text
 from ..errors import JobExecutionError
 from ..trace.generator import TraceScale
 from .policies import RunPolicy
@@ -59,7 +59,7 @@ class SuiteJob:
 
 def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS`` env var, else ``os.cpu_count()``."""
-    raw = os.environ.get("REPRO_JOBS", "").strip()
+    raw = env_text("REPRO_JOBS").strip()
     if raw:
         try:
             return max(1, int(raw))

@@ -52,7 +52,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
-from ..config import SystemConfig
+from ..config import SystemConfig, env_flag, env_text
 from ..trace.generator import TraceScale
 from .results import SimulationResult
 
@@ -68,11 +68,11 @@ _log = logging.getLogger("repro.result_cache")
 
 def enabled() -> bool:
     """The cache is on unless ``REPRO_NO_CACHE`` is set to a truthy flag."""
-    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+    return not env_flag("REPRO_NO_CACHE")
 
 
 def cache_dir() -> Path:
-    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    override = env_text("REPRO_CACHE_DIR").strip()
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-tom"
@@ -212,10 +212,10 @@ def store(key: str, result: SimulationResult) -> None:
         "result": result_payload,
     }
     data = json.dumps(payload).encode()
-    if os.environ.get("REPRO_FAULTS"):
-        from ..testing.faults import corrupt_payload
+    from ..testing import faults
 
-        data = corrupt_payload(f"cache/{key}", data)
+    if faults.active():
+        data = faults.corrupt_payload(f"cache/{key}", data)
     directory = cache_dir()
     try:
         directory.mkdir(parents=True, exist_ok=True)

@@ -36,14 +36,14 @@ null recorder and results are bit-identical.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..compiler.metadata import MetadataEntry
 from ..config import SystemConfig
 from ..energy.model import EnergyModel
 from ..errors import SimulationError
 from ..gpu.sm import StreamingMultiprocessor
-from ..gpu.warp import CandidateSegment, PlainSegment, Segment, WarpAccess, WarpTask
+from ..gpu.warp import CandidateSegment, Segment, WarpAccess, WarpTask
 from ..mapping.transparent import TransparentDataMapping, learn_offline
 from ..memory.address_mapping import (
     AddressMapping,

@@ -40,7 +40,6 @@ pool workers and inline.
 
 from __future__ import annotations
 
-import os
 import pickle
 import time
 from collections import deque
@@ -49,6 +48,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..config import env_text
 from ..errors import ConfigError
 from .parallel import SuiteJob, default_jobs
 from .results import SimulationResult
@@ -63,10 +63,10 @@ def _worker_entry(job: SuiteJob) -> Dict[str, SimulationResult]:
     """Top-level (picklable) worker function shared by the pool and the
     inline path. The fault-injection hook fires here so injected
     failures behave identically in both."""
-    if os.environ.get("REPRO_FAULTS"):
-        from ..testing.faults import maybe_fault
+    from ..testing import faults
 
-        maybe_fault(f"job/{job.workload}")
+    if faults.active():
+        faults.maybe_fault(f"job/{job.workload}")
     from .parallel import execute_job
 
     return execute_job(job)
@@ -90,7 +90,7 @@ class SupervisorConfig:
         """Explicit arguments win; unset ones fall back to
         ``REPRO_JOB_TIMEOUT`` (float seconds) and ``REPRO_MAX_RETRIES``."""
         if timeout is None:
-            raw = os.environ.get("REPRO_JOB_TIMEOUT", "").strip()
+            raw = env_text("REPRO_JOB_TIMEOUT").strip()
             if raw:
                 try:
                     timeout = float(raw)
@@ -99,7 +99,7 @@ class SupervisorConfig:
                         f"REPRO_JOB_TIMEOUT must be a number, got {raw!r}"
                     ) from None
         if max_retries is None:
-            raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+            raw = env_text("REPRO_MAX_RETRIES").strip()
             if raw:
                 try:
                     max_retries = int(raw)

@@ -10,7 +10,7 @@ pay off (footnote 2 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 

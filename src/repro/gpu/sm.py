@@ -9,7 +9,6 @@ own small private cache (Section 4.4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List
 
 from ..config import SystemConfig

@@ -17,7 +17,7 @@ addresses, which is exactly the granularity every downstream consumer
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np

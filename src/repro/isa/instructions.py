@@ -15,7 +15,7 @@ is ignored by the dataflow analyses.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import IsaError

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import IsaError
-from .instructions import Instruction, Opcode
+from .instructions import Instruction
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,51 @@
+"""repro-lint: static enforcement of the bit-identity contract.
+
+The reproduction's correctness story rests on invariants that used to be
+checked only *dynamically* — bit-identity across the Python/C dual
+engine backends, purity of the content-addressed result cache, the
+simcore yield protocol. This package checks them *statically*, at CI
+time, with purpose-built AST rules instead of a generic style linter:
+
+``ND01``
+    Nondeterministic iteration: iterating a ``set``/``frozenset`` (or a
+    dict built from one) without ``sorted()``.
+``ND02``
+    Wall-clock / entropy: ``time.time``, unseeded ``random.*`` /
+    ``numpy.random`` globals, ``os.urandom``, ``id()`` as a sort key.
+``ND03``
+    ``os.environ`` reads outside the sanctioned config seam
+    (``config.py``, ``cli.py``, ``accel/__init__.py``,
+    ``testing/faults.py``) — a direct cache-purity hazard.
+``PROTO``
+    Simcore process-protocol typestate: process generators may only
+    yield the registered request dataclasses, and engine primitives
+    (``Engine``/``Event``/``BandwidthResource``/``SlotPool``) must be
+    built through the engine factory seam, never constructed directly.
+``PAR``
+    Backend parity: the request dataclasses and member-write surface
+    declared in ``utils/simcore.py`` are cross-checked against the
+    registrations and member tables parsed out of ``accel/_core.c``,
+    so the compiled backend can never silently fall behind the Python
+    reference.
+
+Everything is pure AST/text analysis — linted code is never imported,
+so scratch copies and deliberately-broken fixtures are safe targets.
+
+Usage: ``python -m repro.lint [paths...]`` or ``tools/repro_lint.py``;
+see ``docs/LINT.md`` for rule rationale and the suppression/baseline
+workflow (``# repro-lint: allow[RULE] reason``).
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, finding_to_dict
+from .runner import LintResult, run_lint
+from .rules import all_rules
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "all_rules",
+    "finding_to_dict",
+    "run_lint",
+]

@@ -1,0 +1,146 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the lint gate turn on while pre-existing findings are
+burned down: matched findings are reported as *baselined* (non-fatal)
+instead of active. Identity is ``(rule, path, message)`` with a count,
+so a file may carry N known findings of one shape and a new (N+1)-th
+still fails the build.
+
+Every entry must carry a human-written ``reason``. ``--baseline-update``
+writes entries with a ``FIXME:`` placeholder reason on purpose: the
+lint run fails until each is replaced with a real justification, which
+is what keeps "baselined" from meaning "forgotten".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+PLACEHOLDER_REASON = "FIXME: justify this grandfathered finding"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    count: int
+    reason: str
+
+    def key(self) -> str:
+        return "{}|{}|{}".format(self.rule, self.path, self.message)
+
+
+class BaselineError(ValueError):
+    """Unreadable or structurally invalid baseline file."""
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BaselineError("cannot read baseline {}: {}".format(path, exc))
+    if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+        raise BaselineError(
+            "baseline {} is not a version-{} repro-lint baseline".format(
+                path, FORMAT_VERSION
+            )
+        )
+    entries = []
+    for raw in payload.get("entries", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                    reason=str(raw.get("reason", "")),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                "baseline {} has a malformed entry: {!r} ({})".format(path, raw, exc)
+            )
+    return entries
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> List[BaselineEntry]:
+    """Write the current active findings as the new baseline."""
+    counted: Dict[Tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        counted[key] = counted.get(key, 0) + 1
+    entries = [
+        BaselineEntry(
+            rule=rule, path=file, message=message, count=count,
+            reason=PLACEHOLDER_REASON,
+        )
+        for (rule, file, message), count in sorted(counted.items())
+    ]
+    payload = {
+        "version": FORMAT_VERSION,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "message": entry.message,
+                "count": entry.count,
+                "reason": entry.reason,
+            }
+            for entry in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[Finding], List[str]]:
+    """Split findings into (active, baselined) and report baseline health.
+
+    Returns ``(active, baselined, reason_problems, stale_keys)`` where
+    ``reason_problems`` are LINT findings for entries missing a written
+    reason and ``stale_keys`` identify entries no current finding
+    matches (fixed findings whose baseline entry should be deleted).
+    """
+    budget: Dict[str, int] = {}
+    by_key: Dict[str, BaselineEntry] = {}
+    for entry in entries:
+        budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        by_key[entry.key()] = entry
+    matched: Dict[str, int] = {}
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in sorted(findings):
+        key = finding.key()
+        if matched.get(key, 0) < budget.get(key, 0):
+            matched[key] = matched.get(key, 0) + 1
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    reason_problems = [
+        Finding(
+            path=entry.path,
+            line=0,
+            col=0,
+            rule="LINT",
+            message=(
+                "baseline entry for {} has no written reason: {!r}".format(
+                    entry.rule, entry.message
+                )
+            ),
+        )
+        for entry in entries
+        if matched.get(entry.key())
+        and (not entry.reason.strip() or entry.reason.startswith("FIXME"))
+    ]
+    stale = [key for key in budget if not matched.get(key)]
+    return active, baselined, reason_problems, sorted(stale)

@@ -1,0 +1,178 @@
+"""Command line for repro-lint.
+
+``python -m repro.lint [paths...]`` — defaults to linting ``src/repro``
+(resolved against the current directory). ``tools/repro_lint.py`` is a
+path-setup wrapper around the same entry point.
+
+Exit codes:
+
+* ``0`` — clean (possibly via suppressions / baseline)
+* ``1`` — active findings
+* ``2`` — usage or internal error (bad rule id, unreadable baseline)
+* ``4`` — ``--max-seconds`` budget exceeded (used by the non-gating CI
+  runtime guard; findings still gate via code 1 first)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import BaselineError, load_baseline, save_baseline
+from .findings import finding_to_dict
+from .runner import LintResult, run_lint
+from .rules import rule_docs, rule_ids
+
+DEFAULT_BASELINE = Path("tools") / "lint_baseline.json"
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & protocol sanitizer for the TOM "
+            "reproduction (rules: {}).".format(", ".join(rule_ids()))
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: {} when it exists)".format(DEFAULT_BASELINE),
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--baseline-update", action="store_true",
+        help=(
+            "rewrite the baseline from the current findings (entries get "
+            "a FIXME reason you must edit before the gate passes)"
+        ),
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="exit 4 if the run takes longer than this (CI runtime guard)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    return parser
+
+
+def _print_human(result: LintResult, stream) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=stream)
+    for notice in result.notices:
+        print("note: " + notice, file=stream)
+    summary = (
+        "repro-lint: {} file(s), {} finding(s), {} suppressed, "
+        "{} baselined, {:.2f}s".format(
+            result.files_scanned, len(result.findings),
+            len(result.suppressed), len(result.baselined),
+            result.elapsed_seconds,
+        )
+    )
+    print(summary, file=stream)
+
+
+def _print_json(result: LintResult, stream) -> None:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding_to_dict(finding) for finding in result.findings],
+        "suppressed": [
+            finding_to_dict(finding) for finding in result.suppressed
+        ],
+        "baselined": [finding_to_dict(finding) for finding in result.baselined],
+        "notices": list(result.notices),
+        "counts": {
+            "active": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "files_scanned": result.files_scanned,
+        "elapsed_seconds": result.elapsed_seconds,
+        "ok": result.ok,
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, doc in sorted(rule_docs().items()):
+            print("{}: {}".format(rule_id, doc))
+        return 0
+
+    paths = [Path(p) for p in (args.paths or [Path("src") / "repro"])]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(
+            "repro-lint: path(s) not found: " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    rules = args.rules.split(",") if args.rules else None
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        elif DEFAULT_BASELINE.exists():
+            baseline_path = DEFAULT_BASELINE
+
+    try:
+        if args.baseline_update:
+            target = baseline_path or DEFAULT_BASELINE
+            result = run_lint(paths, rules=rules, baseline=None)
+            entries = save_baseline(target, result.raw)
+            print(
+                "repro-lint: wrote {} baseline entr{} to {}; replace each "
+                "FIXME reason with a real justification".format(
+                    len(entries), "y" if len(entries) == 1 else "ies", target
+                )
+            )
+            return 0
+        baseline = (
+            load_baseline(baseline_path)
+            if baseline_path is not None and baseline_path.exists()
+            else None
+        )
+        result = run_lint(paths, rules=rules, baseline=baseline)
+    except (BaselineError, ValueError) as error:
+        print("repro-lint: {}".format(error), file=sys.stderr)
+        return 2
+
+    stream = sys.stdout
+    if args.json:
+        _print_json(result, stream)
+    else:
+        _print_human(result, stream)
+    if not result.ok:
+        return 1
+    if args.max_seconds is not None and result.elapsed_seconds > args.max_seconds:
+        print(
+            "repro-lint: runtime {:.2f}s exceeded the {:.2f}s budget".format(
+                result.elapsed_seconds, args.max_seconds
+            ),
+            file=sys.stderr,
+        )
+        return 4
+    return 0

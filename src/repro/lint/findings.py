@@ -1,0 +1,42 @@
+"""Finding record shared by every rule, plus its JSON form.
+
+A finding's *identity* for baseline matching is ``(rule, path, message)``
+— deliberately excluding the line number so a baselined finding does not
+churn every time unrelated edits shift the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-relative posix path of the offending file
+    line: int  #: 1-based line
+    col: int  #: 0-based column
+    rule: str  #: rule id (``ND01`` ... ``PAR``, ``LINT`` for meta)
+    message: str
+
+    def key(self) -> str:
+        """Baseline identity: stable across line-number drift."""
+        return "{}|{}|{}".format(self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return "{}:{}:{}: {} {}".format(
+            self.path, self.line, self.col, self.rule, self.message
+        )
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, object]:
+    """The JSON-mode shape of one finding (schema in docs/LINT.md)."""
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }

@@ -1,0 +1,61 @@
+"""Rule registry: one checker class per rule id."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .common import ModuleUnderLint, Rule
+from .nd01 import ND01
+from .nd02 import ND02
+from .nd03 import ND03
+from .par import PAR
+from .proto import PROTO
+
+#: Registration order is report order for equal locations.
+_RULE_CLASSES = (ND01, ND02, ND03, PROTO, PAR)
+
+#: Meta-rule id used for linter-level problems (malformed suppressions,
+#: unparseable files, baseline hygiene); always enabled.
+META_RULE = "LINT"
+
+
+def all_rules(only: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the rule set, optionally restricted to ``only`` ids."""
+    instances = [cls() for cls in _RULE_CLASSES]
+    if only is None:
+        return instances
+    wanted = {rule_id.strip().upper() for rule_id in only if rule_id.strip()}
+    unknown = wanted - {rule.id for rule in instances}
+    if unknown:
+        raise ValueError(
+            "unknown rule id(s): {} (known: {})".format(
+                ", ".join(sorted(unknown)),
+                ", ".join(cls.id for cls in _RULE_CLASSES),
+            )
+        )
+    return [rule for rule in instances if rule.id in wanted]
+
+
+def rule_ids() -> List[str]:
+    return [cls.id for cls in _RULE_CLASSES]
+
+
+def rule_docs() -> Dict[str, str]:
+    """id -> first docstring paragraph, for ``--list-rules``."""
+    docs = {}
+    for cls in _RULE_CLASSES:
+        text = (cls.__module__ and __import__(
+            cls.__module__, fromlist=["__doc__"]
+        ).__doc__) or ""
+        docs[cls.id] = text.strip().split("\n\n")[0].replace("\n", " ")
+    return docs
+
+
+__all__ = [
+    "META_RULE",
+    "ModuleUnderLint",
+    "Rule",
+    "all_rules",
+    "rule_docs",
+    "rule_ids",
+]

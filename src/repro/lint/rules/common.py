@@ -1,0 +1,145 @@
+"""Shared infrastructure for the rule checkers.
+
+Rules never import the code under lint; everything works off the parsed
+AST plus raw source text, so fixtures, scratch copies, and deliberately
+broken trees are all safe targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..findings import Finding
+
+
+@dataclass
+class ModuleUnderLint:
+    """One parsed source file."""
+
+    path: Path  #: absolute filesystem path
+    rel: str  #: display path (scan-root-relative, posix)
+    source: str
+    tree: ast.Module
+    lines: List[str]
+
+    @property
+    def package_rel(self) -> str:
+        """Path relative to the innermost ``repro`` package directory
+        (``config.py``, ``accel/__init__.py``, ...), or the display
+        path when the file is not inside a ``repro`` package. Sanctioned
+        -module matching keys off this, so it works identically on the
+        real tree and on scratch copies that preserve the package dir.
+        """
+        parts = self.path.parts
+        for index in range(len(parts) - 1, 0, -1):
+            if parts[index - 1] == "repro":
+                return "/".join(parts[index:])
+        return self.rel
+
+
+@dataclass
+class ImportMap:
+    """Where each local name came from.
+
+    ``modules`` maps an alias to the full module it binds
+    (``np`` -> ``numpy``); ``names`` maps a from-imported name to its
+    dotted origin (``Timeout`` -> ``..utils.simcore.Timeout``, stored
+    without the leading dots). Relative imports keep only their module
+    tail, so callers match with :func:`origin_endswith`.
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    names: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    imports.modules[local] = alias.name if alias.asname else alias.name.split(".")[0]
+                    # `import a.b.c` binds `a`; `import a.b.c as x` binds x->a.b.c
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    origin = "{}.{}".format(module, alias.name) if module else alias.name
+                    imports.names[local] = origin
+        return imports
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute expression, or None."""
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.names:
+            root = self.names[base]
+        elif base in self.modules:
+            root = self.modules[base]
+        else:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+
+def origin_endswith(origin: Optional[str], *suffixes: str) -> bool:
+    """Does a dotted origin name one of the given dotted suffixes?
+
+    ``origin_endswith("repro.utils.simcore.Timeout", "simcore.Timeout")``
+    is true; plain substring matching is not used so ``mysimcore.Timeout``
+    does not match.
+    """
+    if origin is None:
+        return False
+    for suffix in suffixes:
+        if origin == suffix or origin.endswith("." + suffix):
+            return True
+    return False
+
+
+class Rule:
+    """Base class: per-file rules implement ``check``; project-level
+    rules (PAR) implement ``check_project`` instead."""
+
+    id = "RULE"
+    title = ""
+    #: package-relative paths exempt from this rule
+    sanctioned: Tuple[str, ...] = ()
+
+    def is_sanctioned(self, module: ModuleUnderLint) -> bool:
+        rel = module.package_rel
+        if rel.startswith("lint/"):
+            # The linter may talk about hazards by name without
+            # triggering itself.
+            return True
+        return rel in self.sanctioned
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: List[ModuleUnderLint], notices: List[str]
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
+def finding(
+    module: ModuleUnderLint, node: ast.AST, rule: str, message: str
+) -> Finding:
+    return Finding(
+        path=module.rel,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+    )

@@ -1,0 +1,289 @@
+"""ND01 — nondeterministic iteration over sets.
+
+``set``/``frozenset`` iteration order depends on insertion history and
+(for str elements) on ``PYTHONHASHSEED``; any code path that feeds set
+iteration into simulation results, cache keys, or trace output breaks
+the bit-identity contract across processes. The rule tracks values that
+are statically known to be sets — literals, ``set()``/``frozenset()``
+calls, set comprehensions, set operators, annotated variables and
+``self`` attributes — and flags order-sensitive consumption:
+
+* ``for x in s`` and comprehension sources (dict/list/generator —
+  a *set* comprehension over a set stays order-free and is allowed, as
+  are generator expressions consumed directly by ``sorted``/``min``/...),
+* ``list(s)`` / ``tuple(s)`` / ``iter(s)`` / ``enumerate(s)`` /
+  ``sum(s)`` (float accumulation is order-sensitive) / ``sep.join(s)``,
+* ``[*s]`` star-unpacking and ``yield from s``,
+* ``s.pop()`` (removes an arbitrary element).
+
+Order-free consumers — ``sorted``, ``len``, ``min``, ``max``, ``any``,
+``all``, ``bool``, membership tests, re-collection into another set —
+are not flagged; ``sorted(s)`` is the canonical fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..findings import Finding
+from .common import ModuleUnderLint, Rule, finding
+
+#: A generator expression fed directly to one of these is order-free.
+_SAFE_CONSUMERS = {"sorted", "min", "max", "any", "all", "len", "bool", "set", "frozenset"}
+
+#: Calling one of these on a set realizes its arbitrary order.
+_ORDERED_CONSUMERS = {"list", "tuple", "iter", "enumerate", "sum"}
+
+#: Set-typed annotation spellings.
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+
+#: Methods that return a set when called on a set.
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.split("[")[0].split(".")[-1].strip()
+        return text in _SET_ANNOTATIONS
+    return False
+
+
+class _Scope:
+    """Set-typedness environment for one function (or the module body)."""
+
+    def __init__(self, names: Set[str], self_attrs: Set[str]) -> None:
+        self.names = names
+        self.self_attrs = self_attrs
+
+
+class ND01(Rule):
+    id = "ND01"
+    title = "nondeterministic set iteration"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        self._safe_genexps: Set[int] = set()
+        self._walk_scope(
+            module,
+            list(module.tree.body),
+            _Scope(set(), self._class_set_attrs(module.tree)),
+            findings,
+        )
+        return iter(findings)
+
+    # -- scope management -------------------------------------------------
+
+    def _class_set_attrs(self, tree: ast.AST) -> Set[str]:
+        """``self.X`` attributes assigned a set expression anywhere in
+        the file (conservative: one shared namespace, since rules here
+        run per-file and classes rarely share attribute names with
+        different types)."""
+        attrs: Set[str] = set()
+        empty = _Scope(set(), set())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if self._is_set_expr(node.value, empty):
+                    for target in node.targets:
+                        if self._self_attr(target):
+                            attrs.add(target.attr)  # type: ignore[union-attr]
+            elif isinstance(node, ast.AnnAssign) and self._self_attr(node.target):
+                if _annotation_is_set(node.annotation) or (
+                    node.value is not None and self._is_set_expr(node.value, empty)
+                ):
+                    attrs.add(node.target.attr)  # type: ignore[union-attr]
+        return attrs
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def _enter_def(
+        self,
+        module: ModuleUnderLint,
+        node: ast.AST,
+        scope: _Scope,
+        findings: List[Finding],
+    ) -> None:
+        inner = _Scope(set(scope.names), scope.self_attrs)
+        for arg in self._all_args(node):
+            if _annotation_is_set(arg.annotation):
+                inner.names.add(arg.arg)
+        self._walk_scope(module, list(node.body), inner, findings)
+
+    def _walk_scope(
+        self,
+        module: ModuleUnderLint,
+        body: List[ast.stmt],
+        scope: _Scope,
+        findings: List[Finding],
+    ) -> None:
+        """Process one scope's statements in textual order, tracking
+        which names hold sets, then recurse into nested scopes."""
+        for stmt in body:
+            if isinstance(stmt, _DEFS):
+                self._enter_def(module, stmt, scope, findings)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                class_scope = _Scope(set(scope.names), scope.self_attrs)
+                self._walk_scope(module, list(stmt.body), class_scope, findings)
+                continue
+            for node in self._scope_walk(stmt):
+                self._track_assignment(node, scope)
+                self._check_node(module, node, scope, findings)
+            for nested in self._nested_defs(stmt):
+                self._enter_def(module, nested, scope, findings)
+
+    @staticmethod
+    def _all_args(fn) -> List[ast.arg]:
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+        if fn.args.vararg:
+            args.append(fn.args.vararg)
+        if fn.args.kwarg:
+            args.append(fn.args.kwarg)
+        return args
+
+    @classmethod
+    def _scope_walk(cls, stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Walk a (non-def) statement in parent-before-child order
+        without descending into nested def/class bodies."""
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, _DEFS + (ast.ClassDef,)):
+                continue
+            yield node
+            stack[0:0] = list(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _nested_defs(cls, stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Function defs nested anywhere inside a non-def statement
+        (inside if/try blocks, class bodies, ...), shallowest first;
+        defs inside those defs are reached by recursion."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(stmt))
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, _DEFS):
+                yield node
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _track_assignment(self, node: ast.AST, scope: _Scope) -> None:
+        if isinstance(node, ast.Assign) and node.targets:
+            is_set = self._is_set_expr(node.value, scope)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    (scope.names.add if is_set else scope.names.discard)(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None and self._is_set_expr(node.value, scope)
+            ):
+                scope.names.add(node.target.id)
+            else:
+                scope.names.discard(node.target.id)
+
+    # -- set-typedness ----------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST, scope: _Scope) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self._is_set_expr(func.value, scope)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left, scope) or self._is_set_expr(
+                node.right, scope
+            )
+        if isinstance(node, ast.IfExp):
+            return self._is_set_expr(node.body, scope) or self._is_set_expr(
+                node.orelse, scope
+            )
+        if isinstance(node, ast.Name):
+            return node.id in scope.names
+        if self._self_attr(node):
+            return node.attr in scope.self_attrs  # type: ignore[union-attr]
+        return False
+
+    # -- flagged consumption sites ---------------------------------------
+
+    def _check_node(
+        self,
+        module: ModuleUnderLint,
+        node: ast.AST,
+        scope: _Scope,
+        findings: List[Finding],
+    ) -> None:
+        def flag(at: ast.AST, what: str) -> None:
+            findings.append(
+                finding(
+                    module,
+                    at,
+                    self.id,
+                    what + " realizes nondeterministic set order; "
+                    "wrap the set in sorted(...)",
+                )
+            )
+
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if self._is_set_expr(node.iter, scope):
+                flag(node.iter, "for-loop over a set")
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            if isinstance(node, ast.GeneratorExp) and id(node) in self._safe_genexps:
+                return
+            for comp in node.generators:
+                if self._is_set_expr(comp.iter, scope):
+                    flag(comp.iter, "comprehension over a set")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SAFE_CONSUMERS:
+                # sorted(f(x) for x in s) and friends are order-free.
+                for arg in node.args:
+                    if isinstance(arg, ast.GeneratorExp):
+                        self._safe_genexps.add(id(arg))
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDERED_CONSUMERS
+                and node.args
+                and self._is_set_expr(node.args[0], scope)
+            ):
+                flag(node, "{}() of a set".format(func.id))
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "join" and node.args and self._is_set_expr(
+                    node.args[0], scope
+                ):
+                    flag(node, "str.join of a set")
+                elif (
+                    func.attr in ("pop", "popitem")
+                    and not node.args
+                    and self._is_set_expr(func.value, scope)
+                ):
+                    flag(node, "set.pop() of an arbitrary element")
+        elif isinstance(node, ast.Starred) and self._is_set_expr(node.value, scope):
+            flag(node, "star-unpacking a set")
+        elif isinstance(node, ast.YieldFrom) and self._is_set_expr(node.value, scope):
+            flag(node, "yield from a set")

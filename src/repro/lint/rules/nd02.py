@@ -1,0 +1,130 @@
+"""ND02 — wall-clock and entropy sources in result-affecting code.
+
+Simulation results, cache keys, and traces must be pure functions of
+(config, workload, seed). Wall-clock reads and global/unseeded RNGs
+break that: two runs of the same job produce different bytes, which
+poisons the content-addressed result cache and the dual-backend
+bit-identity tests. Flagged:
+
+* ``time.time`` / ``time.time_ns`` and ``datetime.now``-family calls
+  (``time.monotonic``/``perf_counter``/``sleep`` are *not* flagged —
+  timeouts and benchmarks measure wall time legitimately and never
+  feed results),
+* the module-level ``random.*`` functions (global hidden state; use a
+  ``random.Random(seed)`` instance) and ``random.Random()`` /
+  ``numpy.random.default_rng()`` constructed *without* a seed,
+* the legacy global ``numpy.random.*`` functions,
+* ``os.urandom``, ``uuid.uuid1``/``uuid4``, anything from ``secrets``,
+* ``id`` used as an ordering key (``sorted(..., key=id)``): CPython
+  ids are allocation addresses, so the order varies run to run.
+  (``id()`` as a *within-process identity* dict key is fine and common
+  in the grid engine; only ordering use is flagged.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from .common import ImportMap, ModuleUnderLint, Rule, finding
+
+#: Exact dotted origins that are banned as calls.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Module-level functions of the stdlib ``random`` module (global RNG).
+_RANDOM_GLOBALS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+}
+
+#: Legacy global-state numpy.random functions.
+_NUMPY_RANDOM_GLOBALS = {
+    "choice", "normal", "permutation", "rand", "randint", "randn",
+    "random", "random_sample", "seed", "shuffle", "uniform",
+}
+
+_SORT_CALLS = {"sorted", "min", "max"}
+
+
+class ND02(Rule):
+    id = "ND02"
+    title = "wall-clock / entropy use"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        imports = ImportMap.of(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._call_problem(node, imports)
+            if message is not None:
+                yield finding(module, node, self.id, message)
+
+    def _call_problem(self, node: ast.Call, imports: ImportMap) -> Optional[str]:
+        origin = imports.resolve(node.func)
+        if origin in _BANNED_CALLS:
+            return "{} ({}) is nondeterministic across runs".format(
+                origin, _BANNED_CALLS[origin]
+            )
+        if origin is not None:
+            if origin.startswith("secrets."):
+                return "{} draws OS entropy".format(origin)
+            parts = origin.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _RANDOM_GLOBALS
+            ):
+                return (
+                    "global random.{} has hidden shared state; "
+                    "use a seeded random.Random instance".format(parts[1])
+                )
+            if origin == "random.Random" and not node.args:
+                return "random.Random() without a seed is entropy-seeded"
+            if origin == "numpy.random.default_rng" and not node.args:
+                return "numpy.random.default_rng() without a seed is entropy-seeded"
+            if (
+                len(parts) == 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] in _NUMPY_RANDOM_GLOBALS
+            ):
+                return (
+                    "legacy global numpy.random.{}; use a seeded "
+                    "numpy.random.default_rng(seed) generator".format(parts[2])
+                )
+        # id as an ordering key: sorted(xs, key=id) / xs.sort(key=id).
+        is_sorter = (
+            isinstance(node.func, ast.Name) and node.func.id in _SORT_CALLS
+        ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "sort")
+        if is_sorter:
+            for keyword in node.keywords:
+                if keyword.arg == "key" and self._is_id_key(keyword.value):
+                    return (
+                        "id() as an ordering key varies with memory layout "
+                        "across runs"
+                    )
+        return None
+
+    @staticmethod
+    def _is_id_key(value: ast.AST) -> bool:
+        if isinstance(value, ast.Name) and value.id == "id":
+            return True
+        return (
+            isinstance(value, ast.Lambda)
+            and isinstance(value.body, ast.Call)
+            and isinstance(value.body.func, ast.Name)
+            and value.body.func.id == "id"
+        )

@@ -1,0 +1,61 @@
+"""ND03 — environment reads outside the sanctioned config seam.
+
+``os.environ`` is ambient, invisible state: a module that reads it
+directly can change simulation results or cache lookups without the
+change appearing in any config object or cache key — the exact failure
+mode the content-addressed result cache must never see. All environment
+access therefore lives behind four sanctioned modules:
+
+* ``repro/config.py`` — the ``env_text``/``env_flag`` seam plus system
+  configuration,
+* ``repro/cli.py`` — translates flags to env for worker inheritance,
+* ``repro/accel/__init__.py`` — engine backend selection,
+* ``repro/testing/faults.py`` — the deterministic fault harness.
+
+Everything else imports one of those. Any other mention of
+``os.environ`` / ``os.getenv`` / ``os.putenv`` is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .common import ImportMap, ModuleUnderLint, Rule, finding
+
+_BANNED = {
+    "os.environ": "os.environ access",
+    "os.getenv": "os.getenv",
+    "os.putenv": "os.putenv",
+    "os.unsetenv": "os.unsetenv",
+}
+
+
+class ND03(Rule):
+    id = "ND03"
+    title = "environment read outside the config seam"
+    sanctioned = (
+        "config.py",
+        "cli.py",
+        "accel/__init__.py",
+        "testing/faults.py",
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if self.is_sanctioned(module):
+            return
+        imports = ImportMap.of(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            origin = imports.resolve(node)
+            if origin in _BANNED:
+                yield finding(
+                    module,
+                    node,
+                    self.id,
+                    "{} outside the sanctioned config seam; route it "
+                    "through repro.config (env_text/env_flag) or the "
+                    "owning seam module".format(_BANNED[origin]),
+                )

@@ -1,0 +1,349 @@
+"""PAR — dual-backend parity between simcore and the compiled core.
+
+The Python reference engine (``utils/simcore.py``) and the hand-written
+CPython extension (``accel/_core.c``) must expose the same protocol or
+the bit-identity contract dies silently: a request dataclass added on
+the Python side but never registered with the C dispatcher raises (or
+worse, misroutes) only when the compiled backend happens to be
+selected. This rule cross-checks, without importing or building
+anything:
+
+1. every module-level ``@dataclass`` in simcore (they are all request
+   types) appears in the ``_DISPATCH`` table;
+2. ``repro/accel/__init__.py`` registers exactly the ``_DISPATCH``
+   request classes with ``_core._register``, in the same order;
+3. ``_core.c`` carries a matching ``g_req_*`` global, ``REQ_*`` enum
+   entry, and ``core_register`` arity for each request;
+4. every attribute in simcore's ``ENGINE_MEMBER_SURFACE`` declaration
+   (the members external simulator code reads or writes directly) is
+   exposed by the corresponding compiled type's ``PyMemberDef`` /
+   ``PyGetSetDef`` table.
+
+A missing or unreadable ``_core.c`` (source checkout without the
+extension layout) downgrades the C-side checks to a notice — mirroring
+the runtime's warn-and-fall-back convention — while the pure-Python
+checks (1–2) still run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding
+from .common import ModuleUnderLint, Rule
+
+_MEMBER_TABLE = re.compile(
+    r"static\s+(?:PyMemberDef|PyGetSetDef)\s+(\w+)\s*\[\]\s*=\s*\{(.*?)\};",
+    re.DOTALL,
+)
+_TABLE_ENTRY = re.compile(r"\{\s*\"(\w+)\"")
+_TYPE_BLOCK = re.compile(r"static\s+PyTypeObject\s+\w+\s*=\s*\{(.*?)\};", re.DOTALL)
+_TP_FIELD = re.compile(r"\.(tp_name|tp_members|tp_getset)\s*=\s*([\w\".]+)")
+_G_REQ = re.compile(r"static\s+PyObject\s*\*\s*g_req_(\w+)")
+_REQ_ENUM = re.compile(r"\bREQ_([A-Z0-9_]+)")
+# The tempered dot keeps the match inside core_register's body (it may
+# not run past the function's closing brace at column 0).
+_PARSE_TUPLE = re.compile(
+    r"core_register(?:(?!\n\}).)*?PyArg_ParseTuple\(args,\s*\"(O+)\"", re.DOTALL
+)
+
+
+def dispatch_request_names(tree: ast.Module) -> List[str]:
+    """Keys of simcore's module-level ``_DISPATCH = {Type: handler}``."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_DISPATCH"
+            and isinstance(node.value, ast.Dict)
+        ):
+            names = []
+            for key in node.value.keys:
+                if isinstance(key, ast.Name):
+                    names.append(key.id)
+            return names
+    return []
+
+
+def _module_dataclasses(tree: ast.Module) -> List[ast.ClassDef]:
+    out = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = target.attr if isinstance(target, ast.Attribute) else getattr(
+                target, "id", None
+            )
+            if name == "dataclass":
+                out.append(node)
+    return out
+
+
+def _member_surface(tree: ast.Module) -> Tuple[Dict[str, Tuple[str, ...]], int]:
+    """simcore's ``ENGINE_MEMBER_SURFACE`` declaration and its line."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "ENGINE_MEMBER_SURFACE"
+            and isinstance(node.value, ast.Dict)
+        ):
+            surface: Dict[str, Tuple[str, ...]] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    continue
+                attrs = []
+                for element in getattr(value, "elts", []):
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        attrs.append(element.value)
+                surface[key.value] = tuple(attrs)
+            return surface, node.lineno
+    return {}, 0
+
+
+def _registered_names(tree: ast.Module) -> Tuple[List[str], int]:
+    """Request classes passed to ``_core._register`` in accel/__init__,
+    in call order (the leading SimulationError argument is skipped)."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_register"
+        ):
+            names = []
+            for arg in node.args[1:]:
+                if isinstance(arg, ast.Attribute):
+                    names.append(arg.attr)
+                elif isinstance(arg, ast.Name):
+                    names.append(arg.id)
+            return names, node.lineno
+    return [], 0
+
+
+class _CSurface:
+    """What the compiled source exposes, parsed textually."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.g_req = [match.group(1) for match in _G_REQ.finditer(text)]
+        self.req_enum = []
+        for match in _REQ_ENUM.finditer(text):
+            name = match.group(1)
+            if name != "UNKNOWN" and name not in self.req_enum:
+                self.req_enum.append(name)
+        arity = _PARSE_TUPLE.search(text)
+        self.register_arity = len(arity.group(1)) if arity else None
+        tables: Dict[str, List[str]] = {}
+        for match in _MEMBER_TABLE.finditer(text):
+            tables[match.group(1)] = _TABLE_ENTRY.findall(match.group(2))
+        self.exposed: Dict[str, Set[str]] = {}
+        for match in _TYPE_BLOCK.finditer(text):
+            fields = dict(_TP_FIELD.findall(match.group(1)))
+            tp_name = fields.get("tp_name", "")
+            class_name = tp_name.strip('"').split(".")[-1]
+            if not class_name:
+                continue
+            names: Set[str] = set()
+            for table_field in ("tp_members", "tp_getset"):
+                names.update(tables.get(fields.get(table_field, ""), ()))
+            self.exposed[class_name] = names
+
+    def line_of(self, pattern: str) -> int:
+        match = re.search(pattern, self.text)
+        return self.text.count("\n", 0, match.start()) + 1 if match else 1
+
+
+class PAR(Rule):
+    id = "PAR"
+    title = "dual-backend protocol parity"
+
+    def check_project(
+        self, modules: List[ModuleUnderLint], notices: List[str]
+    ) -> Iterator[Finding]:
+        simcore = _find(modules, "utils/simcore.py")
+        accel = _find(modules, "accel/__init__.py")
+        if simcore is None:
+            if any(module.package_rel.startswith("accel/") for module in modules):
+                notices.append(
+                    "PAR: utils/simcore.py not in the scanned tree; "
+                    "parity checks skipped"
+                )
+            return
+        dispatch = dispatch_request_names(simcore.tree)
+        if not dispatch:
+            yield Finding(
+                path=simcore.rel, line=1, col=0, rule=self.id,
+                message="no module-level _DISPATCH table found in simcore",
+            )
+            return
+
+        # 1. Every request dataclass is dispatchable.
+        for cls in _module_dataclasses(simcore.tree):
+            if cls.name not in dispatch:
+                yield Finding(
+                    path=simcore.rel, line=cls.lineno, col=cls.col_offset,
+                    rule=self.id,
+                    message=(
+                        "request dataclass {} is not registered in _DISPATCH; "
+                        "the engine cannot dispatch it".format(cls.name)
+                    ),
+                )
+
+        # 2. accel/__init__ registers the same classes, same order.
+        if accel is not None:
+            registered, line = _registered_names(accel.tree)
+            if not registered:
+                yield Finding(
+                    path=accel.rel, line=1, col=0, rule=self.id,
+                    message="no _core._register(...) call found in accel/__init__.py",
+                )
+            elif registered != dispatch:
+                yield Finding(
+                    path=accel.rel, line=line, col=0, rule=self.id,
+                    message=(
+                        "_core._register order {} does not match simcore "
+                        "_DISPATCH order {}".format(registered, dispatch)
+                    ),
+                )
+        else:
+            notices.append(
+                "PAR: accel/__init__.py not in the scanned tree; "
+                "registration check skipped"
+            )
+
+        # 3-4. The compiled source, when present.
+        core_path = self._core_path(simcore, accel)
+        core_rel = self._core_rel(simcore, accel)
+        if core_path is None or not core_path.exists():
+            notices.append(
+                "PAR: compiled engine source (accel/_core.c) not found; "
+                "C-side parity checks skipped (warn-and-fall-back, like "
+                "the runtime backend selection)"
+            )
+            return
+        try:
+            surface = _CSurface(core_path.read_text(errors="replace"))
+        except OSError as error:
+            notices.append(
+                "PAR: cannot read {}: {}; C-side parity checks "
+                "skipped".format(core_rel, error)
+            )
+            return
+        for found in self._check_c_surface(simcore, surface, dispatch, core_rel):
+            yield found
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _core_path(
+        simcore: ModuleUnderLint, accel: Optional[ModuleUnderLint]
+    ) -> Optional[Path]:
+        if accel is not None:
+            return accel.path.parent / "_core.c"
+        candidate = simcore.path.parent.parent / "accel" / "_core.c"
+        return candidate
+
+    @staticmethod
+    def _core_rel(
+        simcore: ModuleUnderLint, accel: Optional[ModuleUnderLint]
+    ) -> str:
+        base = accel.rel if accel is not None else simcore.rel
+        prefix = base.rsplit("/", 1)[0] if "/" in base else ""
+        if accel is None and prefix.endswith("utils"):
+            prefix = prefix[: -len("utils")] + "accel"
+        return (prefix + "/" if prefix else "") + "_core.c"
+
+    def _check_c_surface(
+        self,
+        simcore: ModuleUnderLint,
+        surface: _CSurface,
+        dispatch: List[str],
+        core_rel: str,
+    ) -> Iterator[Finding]:
+        expected_lower = [name.lower() for name in dispatch]
+        expected_upper = [name.upper() for name in dispatch]
+        if surface.g_req != expected_lower:
+            yield Finding(
+                path=core_rel, line=surface.line_of(r"g_req_\w+"), col=0,
+                rule=self.id,
+                message=(
+                    "compiled request globals {} do not match simcore "
+                    "_DISPATCH {} (add a g_req_* slot per request)".format(
+                        surface.g_req, expected_lower
+                    )
+                ),
+            )
+        if surface.req_enum != expected_upper:
+            yield Finding(
+                path=core_rel, line=surface.line_of(r"\bREQ_[A-Z]"), col=0,
+                rule=self.id,
+                message=(
+                    "compiled REQ_* dispatch kinds {} do not match simcore "
+                    "_DISPATCH {}".format(surface.req_enum, expected_upper)
+                ),
+            )
+        if surface.register_arity is not None and surface.register_arity != len(
+            dispatch
+        ) + 1:
+            yield Finding(
+                path=core_rel, line=surface.line_of(r"core_register"), col=0,
+                rule=self.id,
+                message=(
+                    "core_register unpacks {} objects but simcore declares "
+                    "{} requests (+1 for SimulationError)".format(
+                        surface.register_arity, len(dispatch)
+                    )
+                ),
+            )
+        declared, line = _member_surface(simcore.tree)
+        if not declared:
+            yield Finding(
+                path=simcore.rel, line=1, col=0, rule=self.id,
+                message=(
+                    "simcore declares no ENGINE_MEMBER_SURFACE; the "
+                    "member-write parity check needs it"
+                ),
+            )
+            return
+        for class_name in sorted(declared):
+            attrs = declared[class_name]
+            exposed = surface.exposed.get(class_name)
+            if exposed is None:
+                yield Finding(
+                    path=core_rel, line=1, col=0, rule=self.id,
+                    message=(
+                        "compiled source defines no type named {} but "
+                        "simcore declares a member surface for it".format(
+                            class_name
+                        )
+                    ),
+                )
+                continue
+            missing = [attr for attr in attrs if attr not in exposed]
+            if missing:
+                yield Finding(
+                    path=simcore.rel, line=line, col=0, rule=self.id,
+                    message=(
+                        "member-write surface of {} declares {} but the "
+                        "compiled type does not expose: {}".format(
+                            class_name, list(attrs), ", ".join(missing)
+                        )
+                    ),
+                )
+
+
+def _find(
+    modules: Sequence[ModuleUnderLint], package_rel: str
+) -> Optional[ModuleUnderLint]:
+    for module in modules:
+        if module.package_rel == package_rel:
+            return module
+    return None

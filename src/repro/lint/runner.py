@@ -1,0 +1,164 @@
+"""File discovery, parsing, rule dispatch, suppression + baseline folding.
+
+Everything here is deliberately deterministic — files are scanned in
+sorted order and findings are reported sorted — because the linter
+enforcing the determinism contract must obviously satisfy it.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import BaselineEntry, apply_baseline
+from .findings import Finding
+from .rules import all_rules, rule_ids
+from .rules.common import ModuleUnderLint
+from .suppressions import collect_suppressions
+
+_SKIP_DIRS = {"__pycache__", ".git", "build", ".eggs"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (before output formatting)."""
+
+    findings: List[Finding] = field(default_factory=list)  #: active, gating
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    notices: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    #: Raw findings before suppression/baseline, for --baseline-update.
+    raw: List[Finding] = field(default_factory=list)
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    out = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(candidate.parts))
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _display_rel(path: Path, root: Optional[Path]) -> str:
+    base = (root or Path.cwd()).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[List[BaselineEntry]] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) and fold in suppressions
+    and the optional baseline. ``root`` anchors display paths (defaults
+    to the current working directory)."""
+    started = time.perf_counter()
+    result = LintResult()
+    checkers = all_rules(rules)
+    known = set(rule_ids()) | {"LINT"}
+
+    modules: List[ModuleUnderLint] = []
+    suppression_sets = []
+    raw: List[Finding] = []
+    for path in discover_files([Path(p) for p in paths]):
+        result.files_scanned += 1
+        rel = _display_rel(path, root)
+        try:
+            source = path.read_text(errors="replace")
+        except OSError as error:
+            raw.append(
+                Finding(path=rel, line=0, col=0, rule="LINT",
+                        message="cannot read file: {}".format(error))
+            )
+            continue
+        lines = source.splitlines()
+        suppressions = collect_suppressions(rel, source, lines, known)
+        suppression_sets.append(suppressions)
+        raw.extend(suppressions.malformed)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raw.append(
+                Finding(
+                    path=rel, line=error.lineno or 0, col=error.offset or 0,
+                    rule="LINT", message="syntax error: {}".format(error.msg),
+                )
+            )
+            continue
+        modules.append(
+            ModuleUnderLint(path=path, rel=rel, source=source, tree=tree, lines=lines)
+        )
+
+    for checker in checkers:
+        prepare = getattr(checker, "prepare", None)
+        if prepare is not None:
+            prepare(modules)
+    for module in modules:
+        for checker in checkers:
+            raw.extend(checker.check(module))
+    for checker in checkers:
+        raw.extend(checker.check_project(modules, result.notices))
+
+    # Fold inline suppressions.
+    by_path = {suppressions.path: suppressions for suppressions in suppression_sets}
+    unsuppressed: List[Finding] = []
+    for finding in sorted(raw):
+        suppressions = by_path.get(finding.path)
+        if suppressions is not None and suppressions.matches(
+            finding.line, finding.rule
+        ):
+            result.suppressed.append(finding)
+        else:
+            unsuppressed.append(finding)
+    for suppressions in suppression_sets:
+        for unused in suppressions.unused():
+            result.notices.append(
+                "{}:{}: unused suppression allow[{}] ({})".format(
+                    suppressions.path, unused.line, ",".join(unused.rules),
+                    unused.reason,
+                )
+            )
+
+    result.raw = sorted(raw)
+    if baseline:
+        active, baselined, reason_problems, stale = apply_baseline(
+            unsuppressed, baseline
+        )
+        result.findings = active + reason_problems
+        result.baselined = baselined
+        for key in stale:
+            result.notices.append(
+                "stale baseline entry (finding no longer present): " + key
+            )
+    else:
+        result.findings = unsuppressed
+    result.findings.sort()
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,141 @@
+"""Inline suppression comments.
+
+Syntax::
+
+    risky_call()  # repro-lint: allow[ND02] seeding happens in the caller
+
+    # repro-lint: allow[ND01,ND03] whole-line form covers the next line
+    for page in pages: ...
+
+A suppression names one or more rule ids and MUST carry a reason; a
+reasonless or malformed marker is itself reported (rule ``LINT``) so
+the allowlist can never silently grow. A same-line comment covers its
+own line; a comment alone on a line covers the following line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .findings import Finding
+
+_MARKER = re.compile(r"#\s*repro-lint:(?P<rest>.*)$")
+_ALLOW = re.compile(
+    r"^\s*allow\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<reason>\S.*)?$"
+)
+
+
+@dataclass
+class Suppression:
+    line: int  #: line the marker appears on
+    applies_to: int  #: line whose findings it suppresses
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class SuppressionSet:
+    """All suppressions of one file, plus markers that failed to parse."""
+
+    path: str
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    malformed: List[Finding] = field(default_factory=list)
+
+    def matches(self, line: int, rule: str) -> bool:
+        for suppression in self.by_line.get(line, ()):
+            if rule in suppression.rules:
+                suppression.used = True
+                return True
+        return False
+
+    def unused(self) -> List[Suppression]:
+        out: List[Suppression] = []
+        for entries in self.by_line.values():
+            out.extend(s for s in entries if not s.used)
+        return sorted(out, key=lambda s: s.line)
+
+
+def _comment_tokens(
+    source: str, lines: List[str]
+) -> Iterator[Tuple[int, int, str]]:
+    """(line, col, text) of every comment. Real tokenization keeps
+    marker examples inside docstrings from registering as suppressions;
+    on a tokenize error (the linter also scans broken fixtures) every
+    line is scanned textually instead."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for number, text in enumerate(lines, start=1):
+            yield number, 0, text
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            yield token.start[0], token.start[1], token.string
+
+
+def collect_suppressions(
+    path: str, source: str, lines: List[str], known_rules: Set[str]
+) -> SuppressionSet:
+    """Scan a file's comments for ``repro-lint:`` markers."""
+    result = SuppressionSet(path=path)
+    for number, offset, text in _comment_tokens(source, lines):
+        marker = _MARKER.search(text)
+        if marker is None:
+            continue
+        parsed = _ALLOW.match(marker.group("rest"))
+        if parsed is None:
+            result.malformed.append(
+                Finding(
+                    path=path,
+                    line=number,
+                    col=offset + marker.start(),
+                    rule="LINT",
+                    message=(
+                        "malformed suppression (expected "
+                        "'# repro-lint: allow[RULE,...] reason')"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            rule.strip() for rule in parsed.group("rules").split(",") if rule.strip()
+        )
+        unknown = [rule for rule in rules if rule not in known_rules]
+        if unknown:
+            result.malformed.append(
+                Finding(
+                    path=path,
+                    line=number,
+                    col=offset + marker.start(),
+                    rule="LINT",
+                    message="suppression names unknown rule(s): "
+                    + ", ".join(sorted(unknown)),
+                )
+            )
+            continue
+        reason = (parsed.group("reason") or "").strip()
+        if not reason:
+            result.malformed.append(
+                Finding(
+                    path=path,
+                    line=number,
+                    col=offset + marker.start(),
+                    rule="LINT",
+                    message="suppression has no reason; justify every allow[...]",
+                )
+            )
+            continue
+        # A comment with no code before it covers the next line.
+        source_line = lines[number - 1] if number <= len(lines) else ""
+        own_line = source_line[: offset + marker.start()].strip() == ""
+        applies_to = number + 1 if own_line else number
+        suppression = Suppression(
+            line=number, applies_to=applies_to, rules=rules, reason=reason
+        )
+        result.by_line.setdefault(applies_to, []).append(suppression)
+    return result

@@ -23,8 +23,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..config import SystemConfig
 from ..errors import AnalysisError

@@ -17,7 +17,7 @@ property Section 3.2.1's fixed-offset analysis relies on.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import AllocationError

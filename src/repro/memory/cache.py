@@ -21,11 +21,11 @@ first. Dirty-line tracking records lines written since the last
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Sequence, Set
 
 from ..errors import ConfigError
-from ..utils.bitops import ilog2, is_power_of_two
+from ..utils.bitops import is_power_of_two
 
 
 @dataclass

@@ -20,9 +20,8 @@ candidate instance (10 mappings x 4-bit stack counters), 48 warps/SM.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -24,8 +24,8 @@ simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Set
+from dataclasses import dataclass
+from typing import Iterable, Set
 
 from ..config import SystemConfig
 from ..memory.cache import Cache

@@ -25,7 +25,7 @@ candidates but offloads everything else blindly.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..compiler.metadata import MetadataEntry

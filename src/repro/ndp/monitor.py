@@ -10,8 +10,6 @@ refuses candidates whose 2-bit tag says they *add* traffic to it
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
 
 from ..config import SystemConfig
 from ..interconnect.links import LinkFabric

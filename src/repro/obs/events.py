@@ -18,7 +18,7 @@ line per event. The full schema is documented in
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import AnalysisError
 

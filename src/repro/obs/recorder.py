@@ -26,7 +26,7 @@ untraced run.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..errors import AnalysisError
 from .events import (

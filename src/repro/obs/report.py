@@ -10,7 +10,7 @@ same spirit as :mod:`repro.analysis.reporting`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from ..errors import AnalysisError
 from .events import (

@@ -550,6 +550,41 @@ class SlotPool:
         return False
 
 
+#: The member-write surface of the engine components: every attribute
+#: that simulator code outside this module reads or writes *directly*
+#: (the batched DRAM paths poke `_next_free`/`busy_time`, the ideal
+#: policy overwrites `rate`, monitors read `busy_time`, ...). The
+#: compiled backend must expose each of these on the matching type —
+#: `repro.lint`'s PAR rule cross-checks this declaration against the
+#: PyMemberDef/PyGetSetDef tables in `accel/_core.c`, and
+#: `tests/test_engine_backends.py` pokes them at runtime. Adding an
+#: attribute here without a compiled-side member is a lint failure.
+ENGINE_MEMBER_SURFACE = {
+    "Engine": ("now", "events_processed"),
+    "Event": ("_engine", "triggered", "value"),
+    "Process": ("_engine", "done_event", "finished", "result"),
+    "BandwidthResource": (
+        "_engine",
+        "name",
+        "rate",
+        "latency",
+        "_next_free",
+        "busy_time",
+        "units_moved",
+        "transfers",
+    ),
+    "SlotPool": (
+        "_engine",
+        "name",
+        "capacity",
+        "in_use",
+        "peak_in_use",
+        "total_gets",
+        "available",
+    ),
+}
+
+
 def run_processes(generators: Iterable[Generator]) -> float:
     """Convenience for tests: run independent processes to completion and
     return the elapsed time."""

@@ -11,7 +11,7 @@ offloading candidates are *derived* — nothing is hand-tagged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, List, Optional, Type
 
 import numpy as np
 

@@ -24,7 +24,6 @@ import numpy as np
 from ..isa.builder import KernelBuilder
 from ..isa.kernel import Kernel
 from ..trace.patterns import (
-    LinearPattern,
     LocalRandomPattern,
     MixturePattern,
     PhaseShiftPattern,

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..isa.builder import KernelBuilder
 from ..isa.kernel import Kernel
-from ..trace.patterns import LinearPattern, LocalRandomPattern
+from ..trace.patterns import LocalRandomPattern
 from .base import KB, MB, PaperWorkload, register_workload
 
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..isa.builder import KernelBuilder
 from ..isa.kernel import Kernel
-from ..trace.patterns import ButterflyPattern, LinearPattern
+from ..trace.patterns import ButterflyPattern
 from .base import MB, PaperWorkload, register_workload
 
 

@@ -17,7 +17,6 @@ import numpy as np
 
 from ..isa.builder import KernelBuilder
 from ..isa.kernel import Kernel
-from ..trace.patterns import LinearPattern
 from .base import MB, PaperWorkload, register_workload
 
 

@@ -1,0 +1,50 @@
+"""ND01 fixtures: every consumption site below must be flagged."""
+
+items = {1, 2, 3}
+
+
+def loop():
+    for item in items:
+        print(item)
+
+
+def comprehension():
+    return [x for x in {1, 2}]
+
+
+def realize():
+    return list(items)
+
+
+def join():
+    return ",".join({"a", "b"})
+
+
+def pop():
+    return items.pop()
+
+
+def star():
+    return [*items]
+
+
+def produce():
+    yield from items
+
+
+def accumulate(values: "set[float]"):
+    return sum(values)
+
+
+def via_operator(extra):
+    merged = items | {4}
+    return tuple(merged)
+
+
+class Holder:
+    def __init__(self):
+        self.members = set()
+
+    def walk(self):
+        for member in self.members:
+            yield member

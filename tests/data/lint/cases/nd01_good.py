@@ -1,0 +1,41 @@
+"""ND01 fixtures: none of these order-free uses may be flagged."""
+
+items = {1, 2, 3}
+
+
+def ordered():
+    return sorted(items)
+
+
+def reductions():
+    return len(items), min(items), max(items), bool(items)
+
+
+def predicates():
+    return any(x > 1 for x in items), all(x > 0 for x in items)
+
+
+def membership(x):
+    return x in items
+
+
+def setcomp():
+    return {x * 2 for x in items}
+
+
+def rebuild():
+    return set(items) | frozenset(items)
+
+
+def genexp_into_sorted():
+    return sorted(str(x) for x in items)
+
+
+def list_is_fine_elsewhere(values):
+    return list(values)
+
+
+def reassigned_away():
+    data = {1, 2}
+    data = [1, 2]
+    return tuple(data)

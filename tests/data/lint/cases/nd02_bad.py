@@ -1,0 +1,53 @@
+"""ND02 fixtures: every call below must be flagged."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def when():
+    return datetime.now()
+
+
+def token():
+    return uuid.uuid4()
+
+
+def entropy():
+    return os.urandom(8)
+
+
+def draw():
+    return random.random()
+
+
+def shuffle(xs):
+    random.shuffle(xs)
+
+
+def unseeded_instance():
+    return random.Random()
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def legacy_numpy():
+    return np.random.randint(10)
+
+
+def address_order(xs):
+    return sorted(xs, key=id)
+
+
+def address_sort(xs):
+    xs.sort(key=lambda item: id(item))

@@ -1,0 +1,28 @@
+"""ND02 fixtures: legitimate timing/RNG use that must not be flagged."""
+
+import random
+import time
+
+import numpy as np
+
+
+def seeded(seed):
+    return random.Random(seed).random()
+
+
+def seeded_numpy(seed):
+    return np.random.default_rng(seed).integers(10)
+
+
+def benchmark():
+    start = time.perf_counter()
+    time.sleep(0)
+    return time.perf_counter() - start, time.monotonic()
+
+
+def identity_registry(objs):
+    return {id(obj): obj for obj in objs}
+
+
+def value_order(xs):
+    return sorted(xs, key=abs)

@@ -1,0 +1,29 @@
+"""PROTO fixtures: protocol violations that must be flagged."""
+
+from repro.utils.simcore import Acquire, Engine, Event, Timeout
+
+
+def yields_raw_value():
+    yield Timeout(5.0)
+    yield 42
+
+
+def bare_yield():
+    yield Acquire("pool")
+    yield
+
+
+def yields_unblessed_local():
+    yield Timeout(1.0)
+    request = Timeout(1.0)
+    other = object()
+    yield request
+    yield other
+
+
+def builds_engine_directly():
+    return Engine()
+
+
+def builds_event_directly(engine):
+    return Event(engine)

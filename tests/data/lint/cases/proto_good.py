@@ -1,0 +1,26 @@
+"""PROTO fixtures: compliant process generators, nothing flagged."""
+
+from repro.utils import simcore
+
+
+def process(duration):
+    yield simcore.Timeout(duration)
+    request = simcore.Acquire("link")
+    yield request
+    yield simcore.Get("queue") if duration > 1 else simcore.Put("queue", 1)
+
+
+def helper_generator():
+    # Yields no request: not statically a process generator, so its
+    # plain-value yields are someone else's business.
+    yield 99
+
+
+def delegating_process():
+    yield simcore.Timeout(1.0)
+    yield from helper_generator()
+
+
+def uses_factory_seam(make_engine):
+    engine = make_engine()
+    return engine.event(), engine.bandwidth_resource("link", 1.0, 0.0)

@@ -1,0 +1,30 @@
+"""Suppression fixtures: markers in every supported (and broken) form."""
+
+import time
+
+items = {1, 2, 3}
+
+
+def same_line():
+    return list(items)  # repro-lint: allow[ND01] order feeds a set again
+
+
+def own_line():
+    # repro-lint: allow[ND02] coarse progress stamp, never in results
+    return time.time()
+
+
+def reasonless():
+    return list(items)  # repro-lint: allow[ND01]
+
+
+def unknown_rule():
+    return list(items)  # repro-lint: allow[ND99] no such rule
+
+
+def malformed():
+    return list(items)  # repro-lint: silence everything
+
+
+def unused_marker(values):
+    return sorted(values)  # repro-lint: allow[ND01] nothing here fires

@@ -1,0 +1,19 @@
+"""Fixture accel package registering the request protocol with a fake
+compiled core (the PAR rule only reads the ``_register`` call's AST)."""
+
+from ..utils import simcore
+
+
+class SimulationError(Exception):
+    pass
+
+
+class _FakeCore:
+    @staticmethod
+    def _register(*classes):
+        return None
+
+
+_core = _FakeCore()
+
+_core._register(SimulationError, simcore.Timeout, simcore.Acquire)

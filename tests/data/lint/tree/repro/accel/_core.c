@@ -1,0 +1,55 @@
+/* Miniature compiled-core surface for the PAR fixture tests. Only the
+ * declarations the parity parser reads are present; this file is never
+ * compiled. */
+
+#include <Python.h>
+
+static PyObject *g_simulation_error;
+static PyObject *g_req_timeout;
+static PyObject *g_req_acquire;
+
+typedef enum {
+    REQ_UNKNOWN = 0,
+    REQ_TIMEOUT,
+    REQ_ACQUIRE,
+} RequestKind;
+
+static PyMemberDef engine_members[] = {
+    {"now", T_DOUBLE, 0, READONLY, "current simulation time"},
+    {NULL},
+};
+
+static PyMemberDef event_members[] = {
+    {"triggered", T_BOOL, 0, 0, "has the event fired"},
+    {NULL},
+};
+
+static PyGetSetDef event_getset[] = {
+    {"value", NULL, NULL, "payload delivered on trigger", NULL},
+    {NULL},
+};
+
+static PyTypeObject Engine_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.accel._core.Engine",
+    .tp_members = engine_members,
+};
+
+static PyTypeObject Event_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.accel._core.Event",
+    .tp_members = event_members,
+    .tp_getset = event_getset,
+};
+
+static PyObject *
+core_register(PyObject *module, PyObject *args)
+{
+    PyObject *error, *timeout, *acquire;
+    if (!PyArg_ParseTuple(args, "OOO", &error, &timeout, &acquire))
+        return NULL;
+    Py_XSETREF(g_simulation_error, error);
+    Py_XSETREF(g_req_timeout, timeout);
+    Py_XSETREF(g_req_acquire, acquire);
+    Py_RETURN_NONE;
+}

@@ -1,0 +1,12 @@
+"""Sanctioned environment seam of the fixture tree (mirrors the real
+``repro.config``): the only module allowed to touch ``os.environ``."""
+
+import os
+
+
+def env_text(name, default=""):
+    return os.environ.get(name, default)
+
+
+def env_flag(name):
+    return env_text(name) in ("1", "true", "yes")

@@ -1,0 +1,11 @@
+"""Fixture consumer that stays on the sanctioned seam."""
+
+from ..config import env_flag, env_text
+
+
+def scale():
+    return env_text("REPRO_SCALE", "SMALL")
+
+
+def cache_enabled():
+    return not env_flag("REPRO_NO_CACHE")

@@ -1,0 +1,44 @@
+"""Miniature simcore carrying the protocol surface the PAR rule checks."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Timeout:
+    delay: float
+
+
+@dataclass(frozen=True)
+class Acquire:
+    resource: str
+
+
+def _handle_timeout(engine, process, request):
+    return None
+
+
+def _handle_acquire(engine, process, request):
+    return None
+
+
+_DISPATCH = {
+    Timeout: _handle_timeout,
+    Acquire: _handle_acquire,
+}
+
+ENGINE_MEMBER_SURFACE = {
+    "Engine": ("now",),
+    "Event": ("triggered", "value"),
+}
+
+
+class Engine:
+    def __init__(self):
+        self.now = 0.0
+
+
+class Event:
+    def __init__(self, engine):
+        self._engine = engine
+        self.triggered = False
+        self.value = None

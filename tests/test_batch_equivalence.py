@@ -22,7 +22,7 @@ from repro.core.simulator import simulate
 from repro.gpu.coalescer import Coalescer
 from repro.memory.allocation import MemoryAllocationTable
 from repro.memory.cache import Cache
-from repro.memory.dram import MemoryStack, Vault
+from repro.memory.dram import MemoryStack
 from repro.trace.generator import TraceScale, build_trace
 from repro.trace.patterns import (
     AccessContext,

@@ -11,7 +11,7 @@ from repro.compiler import (
     loop_live_registers,
     region_live_registers,
 )
-from repro.isa import KernelBuilder, parse_kernel
+from repro.isa import parse_kernel
 
 
 def simple_loop_kernel():

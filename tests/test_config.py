@@ -12,7 +12,6 @@ from repro.config import (
     MappingConfig,
     MessageConfig,
     StackConfig,
-    SystemConfig,
     baseline_config,
     ndp_config,
 )

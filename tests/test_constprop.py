@@ -1,8 +1,6 @@
 """Tests for the constant-at-entry live-in analysis."""
 
-import dataclasses
 
-import pytest
 
 from repro.compiler import Cfg, select_candidates
 from repro.compiler.constprop import constant_entry_registers

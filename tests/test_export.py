@@ -7,7 +7,7 @@ import os
 
 import pytest
 
-from repro import BASELINE, NDP_CTRL_BMAP, TraceScale, WorkloadRunner
+from repro import NDP_CTRL_BMAP, TraceScale, WorkloadRunner
 from repro.analysis.export import (
     figure_to_csv,
     figure_to_dict,

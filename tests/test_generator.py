@@ -1,6 +1,5 @@
 """Tests for the kernel-driven trace generator."""
 
-import pytest
 
 from repro import TraceScale, build_trace, ndp_config
 from repro.gpu.warp import CandidateSegment, PlainSegment

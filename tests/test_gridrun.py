@@ -26,13 +26,7 @@ from hypothesis import strategies as st
 from repro import TraceScale, WorkloadRunner, ndp_config
 from repro.core import gridrun
 from repro.core.parallel import SuiteJob, execute_job
-from repro.core.policies import (
-    BASELINE,
-    FIGURE8_GRID,
-    IDEAL_NDP,
-    NDP_CTRL_ORACLE,
-    RunPolicy,
-)
+from repro.core.policies import BASELINE, FIGURE8_GRID, IDEAL_NDP, NDP_CTRL_ORACLE
 from repro.workloads.suite import SUITE_ORDER
 
 GRID_POLICIES = (BASELINE,) + FIGURE8_GRID + (NDP_CTRL_ORACLE, IDEAL_NDP)

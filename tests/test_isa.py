@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IsaError
-from repro.isa import Instruction, Kernel, KernelBuilder, OpClass, Opcode
+from repro.isa import Instruction, KernelBuilder, OpClass, Opcode
 from repro.isa.instructions import dynamic_weight, is_register, opclass_of
 
 

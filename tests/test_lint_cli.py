@@ -1,0 +1,151 @@
+"""CLI-level tests: exit codes, JSON schema, baseline workflow."""
+
+import json
+from pathlib import Path
+
+from repro.lint.baseline import PLACEHOLDER_REASON
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+
+FIXTURES = Path(__file__).parent / "data" / "lint"
+CASES = FIXTURES / "cases"
+
+
+def write_offender(tmp_path, name="offender.py"):
+    path = tmp_path / name
+    path.write_text("items = {1, 2}\nvalues = list(items)\n")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main([str(clean), "--no-baseline"]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main([str(write_offender(tmp_path)), "--no-baseline"]) == 1
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main([str(Path("no") / "such" / "path.py")]) == 2
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main([str(clean), "--rules", "ND42", "--no-baseline"]) == 2
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        garbage = tmp_path / "baseline.json"
+        garbage.write_text("not json")
+        assert main([str(clean), "--baseline", str(garbage)]) == 2
+
+    def test_exhausted_budget_exits_four(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert (
+            main([str(clean), "--no-baseline", "--max-seconds", "0"]) == 4
+        )
+
+    def test_findings_gate_before_runtime_guard(self, tmp_path, capsys):
+        offender = write_offender(tmp_path)
+        code = main([str(offender), "--no-baseline", "--max-seconds", "0"])
+        assert code == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("ND01", "ND02", "ND03", "PROTO", "PAR"):
+            assert rule in out
+
+
+class TestJsonOutput:
+    def test_schema(self, tmp_path, capsys):
+        offender = write_offender(tmp_path)
+        code = main([str(offender), "--no-baseline", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {
+            "active": 1, "suppressed": 0, "baselined": 0,
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "ND01"
+        assert finding["line"] == 2
+
+    def test_clean_json(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main([str(clean), "--no-baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestBaselineWorkflow:
+    def test_update_then_gate_until_reason_written(self, tmp_path, capsys):
+        offender = write_offender(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        # 1. Grandfather the current finding.
+        assert main(
+            [str(offender), "--baseline", str(baseline), "--baseline-update"]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        (entry,) = payload["entries"]
+        assert entry["rule"] == "ND01"
+        assert entry["count"] == 1
+        assert entry["reason"] == PLACEHOLDER_REASON
+
+        # 2. The FIXME placeholder still fails the gate.
+        capsys.readouterr()
+        assert main([str(offender), "--baseline", str(baseline)]) == 1
+        assert "no written reason" in capsys.readouterr().out
+
+        # 3. A real reason makes the finding baselined, gate green.
+        entry["reason"] = "grandfathered: order feeds a set again"
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main([str(offender), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_count_budget_is_enforced(self, tmp_path, capsys):
+        offender = tmp_path / "offender.py"
+        offender.write_text("items = {1, 2}\nvalues = list(items)\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(offender), "--baseline", str(baseline), "--baseline-update"]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        payload["entries"][0]["reason"] = "known; burn-down tracked"
+        baseline.write_text(json.dumps(payload))
+        # An (N+1)-th identical finding exceeds the budget and gates.
+        offender.write_text(
+            "items = {1, 2}\nvalues = list(items)\nmore = list(items)\n"
+        )
+        assert main([str(offender), "--baseline", str(baseline)]) == 1
+
+    def test_stale_entry_is_a_notice_not_a_failure(self, tmp_path, capsys):
+        offender = write_offender(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(offender), "--baseline", str(baseline), "--baseline-update"]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        payload["entries"][0]["reason"] = "about to be fixed"
+        baseline.write_text(json.dumps(payload))
+        offender.write_text("items = {1, 2}\nvalues = sorted(items)\n")
+        capsys.readouterr()
+        assert main([str(offender), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_checked_in_baseline_is_valid_and_empty(self):
+        """The repo ships a clean tree: its baseline must stay empty so
+        new findings gate immediately."""
+        repo_baseline = Path(__file__).parent.parent / "tools" / "lint_baseline.json"
+        payload = json.loads(repo_baseline.read_text())
+        assert payload["version"] == 1
+        assert payload["entries"] == []

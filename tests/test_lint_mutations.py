@@ -1,0 +1,140 @@
+"""Seeded-mutation checks: inject each hazard class into a scratch copy
+of the clean fixture tree and prove the linter catches it.
+
+This is the acceptance test for the whole suite — a rule that passes its
+unit fixtures but misses the hazard *in situ* (wrong path matching,
+wrong scope walking, parser too strict) fails here.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint.runner import run_lint
+
+FIXTURE_TREE = Path(__file__).parent / "data" / "lint" / "tree"
+
+
+@pytest.fixture
+def scratch(tmp_path):
+    """A disposable copy of the clean mini repro tree."""
+    target = tmp_path / "scratch"
+    shutil.copytree(FIXTURE_TREE, target)
+    assert run_lint([target], root=target).findings == []
+    return target
+
+
+def rules_hit(target):
+    return {f.rule for f in run_lint([target], root=target).findings}
+
+
+class TestSeededHazards:
+    def test_unsorted_set_iteration_caught(self, scratch):
+        victim = scratch / "repro" / "core" / "knobs.py"
+        victim.write_text(
+            victim.read_text()
+            + "\n\ndef leak(stacks):\n"
+            "    pages = set(stacks)\n"
+            "    return [p * 2 for p in pages]\n"
+        )
+        assert "ND01" in rules_hit(scratch)
+
+    def test_environ_read_in_core_caught(self, scratch):
+        victim = scratch / "repro" / "core" / "knobs.py"
+        victim.write_text(
+            "import os\n\n\ndef scale():\n"
+            '    return os.environ.get("REPRO_SCALE", "SMALL")\n'
+        )
+        assert "ND03" in rules_hit(scratch)
+
+    def test_unregistered_request_dataclass_caught(self, scratch):
+        simcore = scratch / "repro" / "utils" / "simcore.py"
+        simcore.write_text(
+            simcore.read_text()
+            + "\n\n@dataclass(frozen=True)\nclass Sleep:\n    delay: float\n"
+        )
+        findings = run_lint([scratch], root=scratch).findings
+        assert any(
+            f.rule == "PAR" and "Sleep" in f.message and "_DISPATCH" in f.message
+            for f in findings
+        )
+
+    def test_direct_engine_construction_caught(self, scratch):
+        victim = scratch / "repro" / "core" / "runner.py"
+        victim.write_text(
+            "from ..utils.simcore import Engine\n\n\n"
+            "def boot():\n    return Engine()\n"
+        )
+        assert "PROTO" in rules_hit(scratch)
+
+    def test_wallclock_in_core_caught(self, scratch):
+        victim = scratch / "repro" / "core" / "stamp.py"
+        victim.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert "ND02" in rules_hit(scratch)
+
+
+class TestParityMutations:
+    def test_register_order_mismatch_caught(self, scratch):
+        accel = scratch / "repro" / "accel" / "__init__.py"
+        accel.write_text(
+            accel.read_text().replace(
+                "_core._register(SimulationError, simcore.Timeout, simcore.Acquire)",
+                "_core._register(SimulationError, simcore.Acquire, simcore.Timeout)",
+            )
+        )
+        findings = run_lint([scratch], root=scratch).findings
+        assert any(
+            f.rule == "PAR" and "_register order" in f.message for f in findings
+        )
+
+    def test_missing_c_global_caught(self, scratch):
+        core = scratch / "repro" / "accel" / "_core.c"
+        core.write_text(
+            core.read_text().replace(
+                "static PyObject *g_req_acquire;\n", ""
+            )
+        )
+        findings = run_lint([scratch], root=scratch).findings
+        assert any(
+            f.rule == "PAR" and "g_req" in f.message for f in findings
+        )
+
+    def test_missing_member_caught(self, scratch):
+        core = scratch / "repro" / "accel" / "_core.c"
+        core.write_text(
+            core.read_text().replace(
+                '    {"triggered", T_BOOL, 0, 0, "has the event fired"},\n', ""
+            )
+        )
+        findings = run_lint([scratch], root=scratch).findings
+        assert any(
+            f.rule == "PAR" and "triggered" in f.message for f in findings
+        )
+
+    def test_register_arity_mismatch_caught(self, scratch):
+        core = scratch / "repro" / "accel" / "_core.c"
+        core.write_text(
+            core.read_text().replace('"OOO"', '"OO"')
+        )
+        findings = run_lint([scratch], root=scratch).findings
+        assert any(
+            f.rule == "PAR" and "core_register unpacks" in f.message
+            for f in findings
+        )
+
+    def test_missing_core_c_skips_with_notice(self, scratch):
+        """Satellite 6: a source checkout without _core.c must not crash
+        or fail — the C-side checks downgrade to a notice."""
+        (scratch / "repro" / "accel" / "_core.c").unlink()
+        result = run_lint([scratch], root=scratch)
+        assert result.findings == []
+        assert any("_core.c" in n and "skipped" in n for n in result.notices)
+
+    def test_missing_simcore_skips_with_notice(self, scratch):
+        (scratch / "repro" / "utils" / "simcore.py").unlink()
+        result = run_lint([scratch], rules=["PAR"], root=scratch)
+        assert result.findings == []
+        assert any("parity checks skipped" in n for n in result.notices)

@@ -1,0 +1,214 @@
+"""Rule-level tests for repro-lint, driven by the fixtures under
+``tests/data/lint/``. Each bad fixture pins the exact (rule, line) set
+the rule must produce; each good fixture must come back empty."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.runner import run_lint
+from repro.lint.rules import all_rules, rule_ids
+
+FIXTURES = Path(__file__).parent / "data" / "lint"
+CASES = FIXTURES / "cases"
+TREE = FIXTURES / "tree"
+
+
+def lint_file(name, rules=None):
+    return run_lint([CASES / name], rules=rules, root=FIXTURES)
+
+
+class TestRegistry:
+    def test_rule_ids(self):
+        assert rule_ids() == ["ND01", "ND02", "ND03", "PROTO", "PAR"]
+
+    def test_rule_subset_selection(self):
+        assert [r.id for r in all_rules(["ND02", "PAR"])] == ["ND02", "PAR"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            all_rules(["ND42"])
+
+
+class TestND01:
+    def test_bad_fixture_lines(self):
+        result = lint_file("nd01_bad.py", rules=["ND01"])
+        assert [(f.rule, f.line) for f in result.findings] == [
+            ("ND01", 7),   # for-loop over module-level set
+            ("ND01", 12),  # list comprehension over a set literal
+            ("ND01", 16),  # list() of a set
+            ("ND01", 20),  # str.join of a set
+            ("ND01", 24),  # set.pop()
+            ("ND01", 28),  # star-unpacking
+            ("ND01", 32),  # yield from
+            ("ND01", 36),  # sum() of an annotated set argument
+            ("ND01", 41),  # tuple() of a set-operator result
+            ("ND01", 49),  # for-loop over a self.attribute set
+        ]
+
+    def test_good_fixture_clean(self):
+        result = lint_file("nd01_good.py", rules=["ND01"])
+        assert result.findings == []
+
+
+class TestND02:
+    def test_bad_fixture_lines(self):
+        result = lint_file("nd02_bad.py", rules=["ND02"])
+        assert [(f.rule, f.line) for f in result.findings] == [
+            ("ND02", 13),  # time.time
+            ("ND02", 17),  # datetime.now
+            ("ND02", 21),  # uuid.uuid4
+            ("ND02", 25),  # os.urandom
+            ("ND02", 29),  # global random.random
+            ("ND02", 33),  # global random.shuffle
+            ("ND02", 37),  # random.Random() unseeded
+            ("ND02", 41),  # np.random.default_rng() unseeded
+            ("ND02", 45),  # legacy np.random.randint
+            ("ND02", 49),  # sorted(key=id)
+            ("ND02", 53),  # .sort(key=lambda: id(...))
+        ]
+
+    def test_good_fixture_clean(self):
+        result = lint_file("nd02_good.py", rules=["ND02"])
+        assert result.findings == []
+
+
+class TestND03:
+    def test_environ_read_outside_seam(self, tmp_path):
+        offender = tmp_path / "repro" / "core" / "knobs.py"
+        offender.parent.mkdir(parents=True)
+        offender.write_text(
+            "import os\n\n\ndef scale():\n"
+            '    return os.environ.get("REPRO_SCALE", "SMALL")\n'
+        )
+        result = run_lint([tmp_path], rules=["ND03"], root=tmp_path)
+        assert [(f.rule, f.line) for f in result.findings] == [("ND03", 5)]
+
+    def test_getenv_flagged_too(self, tmp_path):
+        offender = tmp_path / "repro" / "anywhere.py"
+        offender.parent.mkdir(parents=True)
+        offender.write_text(
+            "from os import getenv\n\n\ndef read():\n"
+            '    return getenv("REPRO_X")\n'
+        )
+        result = run_lint([tmp_path], rules=["ND03"], root=tmp_path)
+        assert [(f.rule, f.line) for f in result.findings] == [("ND03", 5)]
+
+    def test_sanctioned_tree_clean(self):
+        # tree/repro/config.py reads os.environ but IS the seam.
+        result = run_lint([TREE], rules=["ND03"], root=FIXTURES)
+        assert result.findings == []
+
+
+class TestPROTO:
+    def test_bad_fixture(self):
+        result = lint_file("proto_bad.py", rules=["PROTO"])
+        assert [(f.rule, f.line) for f in result.findings] == [
+            ("PROTO", 8),   # yield 42
+            ("PROTO", 13),  # bare yield
+            ("PROTO", 21),  # yield of a non-request local
+            ("PROTO", 25),  # Engine() construction
+            ("PROTO", 29),  # Event() construction
+        ]
+
+    def test_good_fixture_clean(self):
+        result = lint_file("proto_good.py", rules=["PROTO"])
+        assert result.findings == []
+
+    def test_request_set_learned_from_tree(self, tmp_path):
+        """With a mini simcore in the scanned tree, PROTO recognizes its
+        request classes instead of the canonical six."""
+        simcore = tmp_path / "repro" / "utils" / "simcore.py"
+        simcore.parent.mkdir(parents=True)
+        simcore.write_text(
+            "from dataclasses import dataclass\n\n\n"
+            "@dataclass\nclass Sleep:\n    delay: float\n\n\n"
+            "def _handle(engine, process, request):\n    return None\n\n\n"
+            "_DISPATCH = {Sleep: _handle}\n"
+        )
+        user = tmp_path / "repro" / "core" / "proc.py"
+        user.parent.mkdir(parents=True)
+        user.write_text(
+            "from ..utils.simcore import Sleep\n\n\n"
+            "def process():\n"
+            "    yield Sleep(1.0)\n"
+            "    yield 7\n"
+        )
+        result = run_lint([tmp_path], rules=["PROTO"], root=tmp_path)
+        assert [(f.rule, f.line) for f in result.findings] == [("PROTO", 6)]
+        assert "Sleep" in result.findings[0].message
+
+
+class TestPAR:
+    def test_consistent_tree_clean(self):
+        result = run_lint([TREE], rules=["PAR"], root=FIXTURES)
+        assert result.findings == []
+        assert result.notices == []
+
+    def test_whole_tree_clean_under_all_rules(self):
+        result = run_lint([TREE], root=FIXTURES)
+        assert result.findings == []
+
+
+class TestSuppressions:
+    def test_fixture_semantics(self):
+        result = lint_file("suppressed.py")
+        # Same-line and own-line markers suppress their findings.
+        assert [(f.rule, f.line) for f in result.suppressed] == [
+            ("ND01", 9),
+            ("ND02", 14),
+        ]
+        # Reasonless / unknown-rule / malformed markers do NOT suppress
+        # and add a LINT finding each.
+        assert [(f.rule, f.line) for f in result.findings] == [
+            ("ND01", 18), ("LINT", 18),  # reasonless marker
+            ("ND01", 22), ("LINT", 22),  # unknown-rule marker
+            ("ND01", 26), ("LINT", 26),  # malformed marker
+        ]
+        # The marker that matched nothing is reported as unused.
+        assert any("unused suppression" in n for n in result.notices)
+
+    def test_docstring_examples_are_not_markers(self, tmp_path):
+        probe = tmp_path / "probe.py"
+        probe.write_text(
+            '"""Docs may show `# repro-lint: allow[ND01] example` safely."""\n'
+            "VALUE = 1\n"
+        )
+        result = run_lint([probe], root=tmp_path)
+        assert result.findings == []
+        assert result.notices == []
+
+
+class TestBrokenInput:
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def incomplete(:\n")
+        result = run_lint([bad], root=tmp_path)
+        assert [f.rule for f in result.findings] == ["LINT"]
+        assert "syntax error" in result.findings[0].message
+
+    def test_suppressions_still_parse_in_broken_file(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text(
+            "# repro-lint: allow[LINT] this file is intentionally broken\n"
+            "def incomplete(:\n"
+        )
+        result = run_lint([bad], root=tmp_path)
+        # The own-line marker on line 1 covers line 2's syntax error.
+        assert result.findings == []
+        assert [(f.rule, f.line) for f in result.suppressed] == [("LINT", 2)]
+
+
+class TestSelfCheck:
+    def test_real_tree_is_clean(self):
+        """src/repro must lint clean (the repo gate, run in-process)."""
+        src = Path(__file__).parent.parent / "src" / "repro"
+        result = run_lint([src], root=src.parent.parent)
+        assert result.findings == [], [f.render() for f in result.findings]
+
+    def test_real_tree_par_checks_actually_ran(self):
+        src = Path(__file__).parent.parent / "src" / "repro"
+        result = run_lint([src], rules=["PAR"], root=src.parent.parent)
+        # _core.c is present in this repo, so no skip notice may appear.
+        assert not any("_core.c" in n for n in result.notices), result.notices
+        assert result.findings == []

@@ -1,6 +1,5 @@
 """Tests for the NDP hardware: controller, monitor, analyzer, coherence."""
 
-import numpy as np
 import pytest
 
 from repro import ndp_config

@@ -7,11 +7,7 @@ from hypothesis import strategies as st
 
 from repro import ndp_config
 from repro.gpu.coalescer import Coalescer
-from repro.memory.address_mapping import (
-    BaselineMapping,
-    ConsecutiveBitMapping,
-    HybridMapping,
-)
+from repro.memory.address_mapping import ConsecutiveBitMapping, HybridMapping
 from repro.memory.cache import Cache
 from repro.utils.simcore import (
     Acquire,

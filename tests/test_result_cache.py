@@ -7,7 +7,6 @@ fixture in conftest.py), so nothing touches the user's real cache.
 from __future__ import annotations
 
 import json
-import os
 
 import pytest
 

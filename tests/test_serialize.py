@@ -5,7 +5,7 @@ import pytest
 from repro import TraceScale, build_trace, ndp_config
 from repro.errors import TraceError
 from repro.trace.serialize import load_trace, save_trace, trace_checksum
-from tests.conftest import MiniWorkload, IrregularMiniWorkload
+from tests.conftest import MiniWorkload
 
 
 class TestRoundTrip:

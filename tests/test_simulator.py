@@ -11,7 +11,7 @@ from repro import (
     baseline_config,
     ndp_config,
 )
-from repro.core.policies import MappingPolicy, NDP_CTRL_ORACLE
+from repro.core.policies import NDP_CTRL_ORACLE
 from repro.core.simulator import Simulator
 from repro.errors import SimulationError
 

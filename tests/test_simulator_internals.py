@@ -1,17 +1,9 @@
 """White-box tests of Simulator internals and the backlog signal."""
 
-import dataclasses
 
 import pytest
 
-from repro import (
-    BASELINE,
-    NDP_CTRL_BMAP,
-    NDP_CTRL_TMAP,
-    TraceScale,
-    baseline_config,
-    ndp_config,
-)
+from repro import NDP_CTRL_BMAP, NDP_CTRL_TMAP, ndp_config
 from repro.core.policies import MappingPolicy
 from repro.core.simulator import Simulator
 from repro.core.system import _IssueBacklogSignal

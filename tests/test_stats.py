@@ -1,6 +1,5 @@
 """Tests for repro.utils.stats."""
 
-import math
 from collections import Counter
 
 import pytest

@@ -8,7 +8,7 @@ from repro import TraceScale, WorkloadRunner, ndp_config
 from repro.core.policies import NDP_CTRL_BMAP
 from repro.core.simulator import Simulator
 from repro.errors import ConfigError
-from repro.ndp.translation import StackTranslation, Tlb, WalkRequest
+from repro.ndp.translation import StackTranslation, Tlb
 
 
 def translation_config(tlb_entries=64):

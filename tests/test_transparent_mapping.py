@@ -5,11 +5,9 @@ import dataclasses
 import pytest
 
 from repro import ndp_config
-from repro.config import ControlConfig
 from repro.errors import AnalysisError
 from repro.gpu.warp import CandidateSegment, PlainSegment, WarpAccess, WarpTask
 from repro.mapping.transparent import (
-    MappingPhase,
     TransparentDataMapping,
     candidate_instances,
     colocation_under_mapping,

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Repo-root entry for the determinism & protocol sanitizer.
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint`` but takes care of
+the path setup itself, so CI steps and hooks can just run
+``python tools/repro_lint.py [paths...]``.
+
+Common invocations::
+
+    python tools/repro_lint.py                     # lint src/repro
+    python tools/repro_lint.py --json              # machine-readable
+    python tools/repro_lint.py --list-rules
+    python tools/repro_lint.py --baseline-update   # regenerate baseline
+    python tools/repro_lint.py src/repro --max-seconds 10   # CI guard
+
+See docs/LINT.md for rules, suppression syntax, and the baseline
+workflow.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
