@@ -449,3 +449,24 @@ def section66() -> FigureResult:
         f"entries), {ALLOC_TABLE_BITS} shared bits, 0.11 mm^2 = 0.018% "
         f"of the GPU at 40 nm; analyzer = {BITS_PER_INSTANCE}b x 48 warps",
     )
+
+
+#: Every figure driver by its external name — the single source of
+#: truth the CLI (``repro-tom figure``), the bundle exporter, and the
+#: service (``repro-tom serve``) resolve figure names through. Each
+#: value accepts ``scale``/``seed`` keyword arguments where the figure
+#: is parameterized by them (``section66`` is not).
+FIGURE_BUILDERS = {
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig13": figure13,
+    "sec65": section65,
+    "sec66": section66,
+}

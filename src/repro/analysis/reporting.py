@@ -65,6 +65,106 @@ def format_bars(
     return "\n".join(lines)
 
 
+def render_manifest_summary(path) -> str:
+    """Roll a JSONL run manifest (suite or campaign) up into per-grid
+    summary tables.
+
+    Job entries are grouped by their (config, scale, seed) coordinates
+    — campaign manifests annotate every entry with them; plain suite
+    manifests fall back to the header's scale/seed and an implicit
+    ``default`` config. Within a group, each workload's latest results
+    per policy are merged across entries (successive campaign passes
+    append entries whose pending sets differ); the table shows speedup
+    over baseline when the group ran a baseline, raw IPC otherwise.
+    Failed points are summarized under the tables.
+    """
+    from ..core import manifest as manifest_mod
+    from ..workloads.suite import SUITE_ORDER
+
+    header, entries = manifest_mod.load_manifest_entries(path)
+    if header is None and not entries:
+        raise AnalysisError(f"{path} contains no manifest header or entries")
+    header = header or {}
+    default_scale = header.get("scale", "?")
+    default_seed = header.get("seed", "?")
+
+    # group key -> workload -> policy label -> result
+    groups: dict = {}
+    failures: list = []
+    for entry in entries:
+        key = (
+            entry.get("config", "default"),
+            entry.get("scale", default_scale),
+            entry.get("seed", default_seed),
+        )
+        workload = entry.get("workload", "?")
+        if entry.get("status") == "ok":
+            results = manifest_mod.completed_results(entry) or {}
+            groups.setdefault(key, {}).setdefault(workload, {}).update(results)
+        else:
+            failure = entry.get("failure") or {}
+            failures.append(
+                f"{workload} [{', '.join(entry.get('policies', []))}] "
+                f"@{key[1]} seed={key[2]} config={key[0]}: "
+                f"{failure.get('kind', 'failed')}: "
+                f"{failure.get('message', 'no detail recorded')}"
+            )
+
+    name = header.get("name") or header.get("campaign") or "run"
+    blocks = []
+    suite_rank = {w: i for i, w in enumerate(SUITE_ORDER)}
+    for key in sorted(groups, key=lambda k: (str(k[0]), str(k[1]), str(k[2]))):
+        per_workload = groups[key]
+        config, scale, seed = key
+        columns = sorted(
+            per_workload, key=lambda w: (suite_rank.get(w, len(suite_rank)), w)
+        )
+        labels: list = []
+        for workload in columns:
+            for label in per_workload[workload]:
+                if label not in labels:
+                    labels.append(label)
+        have_baseline = all(
+            "baseline" in per_workload[w] for w in columns
+        ) and "baseline" in labels
+        rows: dict = {}
+        for label in labels:
+            if label == "baseline" and have_baseline:
+                continue
+            row = {}
+            for workload in columns:
+                result = per_workload[workload].get(label)
+                if result is None:
+                    continue
+                if have_baseline:
+                    row[workload] = result.speedup_over(
+                        per_workload[workload]["baseline"]
+                    )
+                else:
+                    row[workload] = result.ipc
+            if row:
+                rows[label] = row
+        if not rows:
+            continue
+        metric = "speedup over baseline" if have_baseline else "IPC"
+        blocks.append(
+            format_table(
+                f"{name}: config={config} scale={scale} seed={seed}",
+                columns,
+                rows,
+                note=metric,
+            )
+        )
+    if not blocks and not failures:
+        raise AnalysisError(f"{path} records no completed results")
+    if failures:
+        blocks.append(
+            "\n".join([f"{len(failures)} failed point group(s):"]
+                      + [f"  {line}" for line in failures])
+        )
+    return "\n\n".join(blocks)
+
+
 def compare_to_paper(
     measured: Mapping[str, float],
     paper: Mapping[str, float],

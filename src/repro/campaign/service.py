@@ -1,0 +1,490 @@
+"""Simulation-as-a-service: a stdlib-only async HTTP front end.
+
+``repro-tom serve`` exposes the figure and run pipeline over HTTP with
+one honest invariant: **a request is answered inline only if it can be
+answered without simulating.** Every warm-path evaluation runs inside
+:func:`repro.guard.deny_simulation`, so the first touch of a trace
+build, a job dispatch, or a simulator step raises
+:class:`~repro.errors.SimulationDenied` — the query is *cold*, the
+request is enqueued as a background campaign job, and the client gets
+``202 Accepted`` with a poll URL. No "probably cached" heuristics: the
+classification is enforced by the same choke points the whole engine
+runs through.
+
+Endpoints (GET only; see ``docs/CAMPAIGNS.md`` for a worked session):
+
+``/healthz``
+    Liveness: ``200 {"ok": true}``.
+``/v1/figures``
+    The figure names the service can build.
+``/v1/figure/<name>?scale=&seed=&format=txt|json|csv``
+    One paper figure. Warm: ``200`` with the rendered table (or
+    JSON/CSV export). Cold: ``202`` + ``{"job": ..., "poll": ...}``.
+``/v1/run/<workload>?policy=&scale=&seed=``
+    One simulation result as JSON, same warm/cold contract.
+``/v1/jobs/<id>``
+    Poll a background job: ``queued`` / ``running`` / ``done`` /
+    ``failed``. Done jobs carry the original request path — refetch it
+    for the (now warm) answer.
+``/v1/stats``
+    Result-cache and simulator counters plus job-queue state.
+
+The implementation is deliberately plain: :func:`asyncio.start_server`
+plus hand-rolled HTTP/1.1 request parsing (no :mod:`http.server`, no
+third-party framework), one daemon worker thread draining the cold-job
+queue sequentially (each job is itself free to fan out across
+``REPRO_JOBS`` processes), and counter-based job ids (no wall clock,
+no entropy — the repro-lint determinism rules apply to this module
+like any other).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import json
+import logging
+import queue
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..config import baseline_config, ndp_config
+from ..core import result_cache, simulator
+from ..core.policies import POLICIES_BY_LABEL
+from ..errors import ReproError, SimulationDenied
+from ..guard import deny_simulation
+from ..trace.generator import TraceScale
+from ..workloads.suite import SUITE_ORDER
+
+_log = logging.getLogger("repro.serve")
+
+#: (content type, payload bytes) — what one evaluation produces.
+_Payload = Tuple[str, bytes]
+
+
+def _json_bytes(payload: Dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode()
+
+
+class _Job:
+    """One cold request being answered in the background."""
+
+    __slots__ = ("id", "request", "thunk", "status", "error", "payload")
+
+    def __init__(self, job_id: str, request: str, thunk: Callable[[], _Payload]):
+        self.id = job_id
+        self.request = request
+        self.thunk = thunk
+        self.status = "queued"  # queued -> running -> done | failed
+        self.error: Optional[str] = None
+        self.payload: Optional[_Payload] = None
+
+    def to_dict(self) -> Dict:
+        payload = {"job": self.id, "status": self.status, "request": self.request}
+        if self.status == "done":
+            payload["result"] = self.request  # refetch: now warm
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class CampaignService:
+    """The server object. ``port=0`` binds an ephemeral port (tests);
+    after :meth:`start` (or :meth:`start_background`) the bound port is
+    in :attr:`port`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8177) -> None:
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, _Job] = {}
+        self._job_by_request: Dict[str, str] = {}  # active jobs only
+        self._job_counter = 0
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self.requests = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._ensure_worker()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("serving on http://%s:%d", self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking entry point (the ``repro-tom serve`` command)."""
+        try:
+            asyncio.run(self.serve_forever())
+        except KeyboardInterrupt:
+            pass
+
+    def start_background(self) -> "CampaignService":
+        """Run the event loop in a daemon thread (tests and embedding);
+        returns once the socket is bound."""
+        ready = threading.Event()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+
+            async def main() -> None:
+                await self.start()
+                ready.set()
+                assert self._server is not None
+                async with self._server:
+                    await self._server.serve_forever()
+
+            try:
+                loop.run_until_complete(main())
+            except asyncio.CancelledError:
+                pass
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise ReproError("service failed to bind within 30s")
+        return self
+
+    def stop(self) -> None:
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None:
+
+            def shutdown() -> None:
+                server.close()
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            loop.call_soon_threadsafe(shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._queue.put(None)  # unblock the worker
+
+    # -- background worker ----------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._drain_jobs, name="repro-serve-worker", daemon=True
+            )
+            self._worker.start()
+
+    def _drain_jobs(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                job.status = "running"
+            try:
+                job.payload = job.thunk()  # simulation allowed here
+                status = "done"
+                error = None
+            except ReproError as exc:
+                status, error = "failed", str(exc)
+            except Exception as exc:  # a bug, not a user error — keep serving
+                _log.exception("job %s crashed", job.id)
+                status, error = "failed", f"internal error: {exc}"
+            with self._lock:
+                job.status = status
+                job.error = error
+                self._job_by_request.pop(job.request, None)
+
+    def _enqueue(self, request: str, thunk: Callable[[], _Payload]) -> _Job:
+        """Register a cold request as a background job; an identical
+        request already queued or running is deduplicated onto the
+        existing job."""
+        with self._lock:
+            existing_id = self._job_by_request.get(request)
+            if existing_id is not None:
+                return self._jobs[existing_id]
+            self._job_counter += 1
+            job = _Job(f"j{self._job_counter:05d}", request, thunk)
+            self._jobs[job.id] = job
+            self._job_by_request[request] = job.id
+        self._queue.put(job)
+        return job
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, headers, body = await self._handle_request(reader)
+        except Exception:  # never kill the acceptor loop
+            _log.exception("request handling crashed")
+            status, headers, body = 500, {}, _json_bytes(
+                {"error": "internal server error"}
+            )
+        reason = {
+            200: "OK",
+            202: "Accepted",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            500: "Internal Server Error",
+        }.get(status, "OK")
+        headers.setdefault("Content-Type", "application/json; charset=utf-8")
+        headers["Content-Length"] = str(len(body))
+        headers["Connection"] = "close"
+        head = [f"HTTP/1.1 {status} {reason}"]
+        head.extend(f"{name}: {value}" for name, value in headers.items())
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=30)
+        except asyncio.TimeoutError:
+            return 400, {}, _json_bytes({"error": "request timeout"})
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return 400, {}, _json_bytes({"error": "malformed request line"})
+        method, target, _version = parts
+        # Drain headers until the blank line (GET: no body to read).
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            return 405, {}, _json_bytes({"error": f"method {method} not allowed"})
+        self.requests += 1
+        return await self._route(target)
+
+    async def _route(self, target: str) -> Tuple[int, Dict[str, str], bytes]:
+        split = urlsplit(target)
+        path = unquote(split.path).rstrip("/") or "/"
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        if path == "/healthz":
+            return 200, {}, _json_bytes({"ok": True})
+        if path == "/v1/figures":
+            from ..analysis.figures import FIGURE_BUILDERS
+
+            return 200, {}, _json_bytes(
+                {"figures": sorted(FIGURE_BUILDERS)}
+            )
+        if path == "/v1/stats":
+            return 200, {}, self._stats_payload()
+        if path.startswith("/v1/jobs/"):
+            return self._job_status(path[len("/v1/jobs/") :])
+        try:
+            if path.startswith("/v1/figure/"):
+                thunk = self._figure_thunk(path[len("/v1/figure/") :], query)
+            elif path.startswith("/v1/run/"):
+                thunk = self._run_thunk(path[len("/v1/run/") :], query)
+            else:
+                return 404, {}, _json_bytes({"error": f"no route for {path}"})
+        except ReproError as exc:
+            return 400, {}, _json_bytes({"error": str(exc)})
+
+        request_key = self._request_key(path, query)
+        loop = asyncio.get_running_loop()
+        try:
+            # Warm path: evaluate in a thread, simulation denied. The
+            # guard is thread-local, so it is taken *inside* the
+            # executor thread.
+            content_type, body = await loop.run_in_executor(
+                None, self._evaluate_warm, thunk
+            )
+        except SimulationDenied:
+            job = self._enqueue(request_key, thunk)
+            return 202, {}, _json_bytes(
+                {"job": job.id, "poll": f"/v1/jobs/{job.id}", "status": job.status}
+            )
+        except ReproError as exc:
+            return 400, {}, _json_bytes({"error": str(exc)})
+        return 200, {"Content-Type": content_type}, body
+
+    @staticmethod
+    def _evaluate_warm(thunk: Callable[[], _Payload]) -> _Payload:
+        with deny_simulation():
+            return thunk()
+
+    @staticmethod
+    def _request_key(path: str, query: Dict[str, str]) -> str:
+        if not query:
+            return path
+        encoded = "&".join(f"{k}={query[k]}" for k in sorted(query))
+        return f"{path}?{encoded}"
+
+    def _job_status(self, job_id: str) -> Tuple[int, Dict[str, str], bytes]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return 404, {}, _json_bytes({"error": f"no job {job_id!r}"})
+            return 200, {}, _json_bytes(job.to_dict())
+
+    def _stats_payload(self) -> bytes:
+        with self._lock:
+            jobs = {
+                status: sum(1 for j in self._jobs.values() if j.status == status)
+                for status in ("queued", "running", "done", "failed")
+            }
+        return _json_bytes(
+            {
+                "requests": self.requests,
+                "jobs": jobs,
+                "result_cache": dict(result_cache.stats),
+                "simulator": dict(simulator.stats),
+            }
+        )
+
+    # -- request -> evaluation thunks ------------------------------------
+
+    @staticmethod
+    def _parse_scale(query: Dict[str, str]) -> Optional[TraceScale]:
+        raw = query.get("scale")
+        if raw is None:
+            return None
+        name = raw.upper()
+        if name not in TraceScale.__members__:
+            raise ReproError(
+                f"unknown scale {raw!r} (known: "
+                f"{', '.join(s.name for s in TraceScale)})"
+            )
+        return TraceScale[name]
+
+    @staticmethod
+    def _parse_seed(query: Dict[str, str]) -> int:
+        raw = query.get("seed", "0")
+        try:
+            return int(raw)
+        except ValueError:
+            raise ReproError(f"seed must be an integer, got {raw!r}") from None
+
+    def _figure_thunk(
+        self, name: str, query: Dict[str, str]
+    ) -> Callable[[], _Payload]:
+        from ..analysis.figures import FIGURE_BUILDERS
+
+        builder = FIGURE_BUILDERS.get(name)
+        if builder is None:
+            raise ReproError(
+                f"unknown figure {name!r} (known: "
+                f"{', '.join(sorted(FIGURE_BUILDERS))})"
+            )
+        fmt = query.get("format", "txt")
+        if fmt not in ("txt", "json", "csv"):
+            raise ReproError(f"unknown format {fmt!r} (txt, json, csv)")
+        scale = self._parse_scale(query)
+        seed = self._parse_seed(query)
+        accepted = inspect.signature(builder).parameters
+        kwargs = {}
+        if "scale" in accepted and scale is not None:
+            kwargs["scale"] = scale
+        if "seed" in accepted:
+            kwargs["seed"] = seed
+
+        def thunk() -> _Payload:
+            figure = builder(**kwargs)
+            if fmt == "txt":
+                return "text/plain; charset=utf-8", (
+                    figure.render() + "\n"
+                ).encode()
+            from ..analysis.export import figure_to_csv, figure_to_dict
+
+            if fmt == "csv":
+                return "text/csv; charset=utf-8", figure_to_csv(figure).encode()
+            return "application/json; charset=utf-8", _json_bytes(
+                figure_to_dict(figure)
+            )
+
+        return thunk
+
+    def _run_thunk(
+        self, workload: str, query: Dict[str, str]
+    ) -> Callable[[], _Payload]:
+        if workload not in SUITE_ORDER:
+            raise ReproError(
+                f"unknown workload {workload!r} (suite: "
+                f"{', '.join(SUITE_ORDER)})"
+            )
+        label = query.get("policy", "baseline")
+        policy = POLICIES_BY_LABEL.get(label)
+        if policy is None:
+            raise ReproError(
+                f"unknown policy {label!r} (known: "
+                f"{', '.join(sorted(POLICIES_BY_LABEL))})"
+            )
+        scale = self._parse_scale(query) or TraceScale.SMALL
+        seed = self._parse_seed(query)
+
+        def thunk() -> _Payload:
+            from ..analysis.export import result_to_dict
+            from ..core.experiment import WorkloadRunner
+
+            # The exact production path: cache probe first, trace build
+            # + simulation only on a miss (which the warm-path guard
+            # turns into SimulationDenied -> 202).
+            runner = WorkloadRunner(
+                workload,
+                scale=scale,
+                seed=seed,
+                ndp_configuration=ndp_config(),
+                baseline_configuration=baseline_config(),
+            )
+            result = runner.run(policy)
+            payload = {
+                "workload": workload,
+                "policy": label,
+                "scale": scale.name,
+                "seed": seed,
+                "result": result_to_dict(result),
+            }
+            return "application/json; charset=utf-8", _json_bytes(payload)
+
+        return thunk
+
+
+def fetch(host: str, port: int, target: str, timeout: float = 60.0) -> Tuple[int, bytes]:
+    """Tiny blocking HTTP GET used by the tests and the CI smoke (no
+    third-party client; :mod:`urllib` would also work but this keeps
+    the request bytes visible and the timeout behavior explicit)."""
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+        )
+        chunks: List[bytes] = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, body

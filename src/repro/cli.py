@@ -31,11 +31,30 @@ Subcommands::
 
     repro-tom report lib.jsonl
         Render a trace: decision breakdown, learned-mapping scores,
-        stack-routing matrix, per-channel utilization timeline.
+        stack-routing matrix, per-channel utilization timeline. Given
+        a JSONL *run manifest* instead (suite --manifest, campaign
+        run), renders the per-grid summary tables.
 
-Exit code 0 on success; errors print to stderr and exit 2; a suite run
-that completes with partial results (some jobs failed permanently)
-exits 3.
+    repro-tom campaign run sweep.toml
+        Expand a declared parameter product (workloads x policies x
+        scales x seeds x configs), skip every point already answered by
+        the result cache or the campaign manifest, run the rest under
+        supervision, and print the roll-up (docs/CAMPAIGNS.md).
+
+    repro-tom campaign status sweep.toml
+        Classify every point (cached / completed / failed / pending)
+        without running anything; exits 0 only when the campaign is
+        complete.
+
+    repro-tom serve --port 8177
+        Simulation-as-a-service: answer figure/run queries from the
+        warm cache over HTTP, enqueue cold queries as background jobs
+        (202 + poll URL). See docs/CAMPAIGNS.md for the API.
+
+Exit code 0 on success; errors print to stderr and exit 2; a suite or
+campaign run that completes with partial results (some jobs failed
+permanently) exits 3, as does ``campaign status`` for an incomplete
+campaign.
 """
 
 from __future__ import annotations
@@ -48,20 +67,14 @@ from typing import List, Optional
 from . import (
     BASELINE,
     FIGURE8_GRID,
-    IDEAL_NDP,
-    NDP_CTRL_ORACLE,
     TraceScale,
     WorkloadRunner,
     make_workload,
 )
 from .accel import BACKEND_NAMES
+from .core.policies import POLICIES_BY_LABEL as _POLICIES
 from .errors import ReproError
 from .workloads.suite import SUITE_ORDER
-
-_POLICIES = {policy.label: policy for policy in FIGURE8_GRID}
-_POLICIES[BASELINE.label] = BASELINE
-_POLICIES[IDEAL_NDP.label] = IDEAL_NDP
-_POLICIES[NDP_CTRL_ORACLE.label] = NDP_CTRL_ORACLE
 
 _FIGURES = (
     "fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10",
@@ -184,6 +197,56 @@ def _build_parser() -> argparse.ArgumentParser:
     bundle.add_argument("directory")
     bundle.add_argument("--figures", nargs="*", default=None)
     bundle.add_argument("--scale", default=None, choices=[s.name for s in TraceScale])
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declared parameter sweeps: run incrementally, inspect status",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    spec_parent = argparse.ArgumentParser(add_help=False)
+    spec_parent.add_argument("spec", help="campaign spec (TOML or JSON)")
+    spec_parent.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="campaign manifest (default: "
+        "$REPRO_CAMPAIGN_DIR/<name>-<fingerprint>.jsonl)",
+    )
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="run every point not already answered by cache or manifest",
+        parents=[spec_parent, engine_parent],
+    )
+    campaign_run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="truncate the manifest instead of resuming from it",
+    )
+    campaign_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_JOBS, else CPU count)",
+    )
+    campaign_run.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout (default: REPRO_JOB_TIMEOUT)",
+    )
+    campaign_run.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries per failing job (default: REPRO_MAX_RETRIES, else 1)",
+    )
+    campaign_sub.add_parser(
+        "status",
+        help="classify every point without running anything",
+        parents=[spec_parent],
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP front end: warm queries answered, cold ones enqueued",
+        parents=[engine_parent],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8177)
     return parser
 
 
@@ -287,23 +350,9 @@ def _cmd_suite(args) -> int:
 def _cmd_figure(args) -> None:
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
-    from .analysis import figures
+    from .analysis.figures import FIGURE_BUILDERS
 
-    driver = {
-        "fig2": figures.figure2,
-        "fig3": figures.figure3,
-        "fig5": figures.figure5,
-        "fig6": figures.figure6,
-        "fig8": figures.figure8,
-        "fig9": figures.figure9,
-        "fig10": figures.figure10,
-        "fig11": figures.figure11,
-        "fig12": figures.figure12,
-        "fig13": figures.figure13,
-        "sec65": figures.section65,
-        "sec66": figures.section66,
-    }[args.name]
-    print(driver().render())
+    print(FIGURE_BUILDERS[args.name]().render())
 
 
 def _cmd_inspect(args) -> None:
@@ -322,11 +371,37 @@ def _cmd_inspect(args) -> None:
         print(f"  rejected: {reason}")
 
 
+def _is_manifest(path: str) -> bool:
+    """Sniff the first line: run manifests start with a JSON header of
+    ``kind == "manifest"``; event traces are JSONL of event dicts."""
+    import json as _json
+
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = _json.loads(line)
+                return (
+                    isinstance(payload, dict)
+                    and payload.get("kind") == "manifest"
+                )
+    except (OSError, ValueError):
+        pass
+    return False
+
+
 def _cmd_report(args) -> None:
     from .analysis.export import read_trace_jsonl, trace_samples_to_csv
     from .errors import AnalysisError
     from .obs import render_report
 
+    if _is_manifest(args.trace):
+        from .analysis.reporting import render_manifest_summary
+
+        print(render_manifest_summary(args.trace))
+        return
     try:
         events = read_trace_jsonl(args.trace)
     except OSError as error:
@@ -352,6 +427,47 @@ def _cmd_bundle(args) -> None:
         print(path)
 
 
+def _cmd_campaign(args) -> int:
+    from .campaign import CampaignDriver, load_spec
+
+    driver = CampaignDriver(load_spec(args.spec), manifest_path=args.manifest)
+    if args.campaign_command == "status":
+        status = driver.status()
+        for line in status.describe():
+            print(line)
+        # Same partial-run convention as `suite`: anything short of a
+        # fully-answered campaign exits 3 so scripts notice.
+        return 0 if status.done else 3
+    report = driver.run(
+        jobs=args.jobs,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        resume=not args.fresh,
+    )
+    for line in report.describe():
+        print(line)
+    if report.planned and report.results:
+        from .analysis.reporting import render_manifest_summary
+
+        print()
+        print(render_manifest_summary(report.manifest_path))
+    if not report.ok:
+        print(
+            f"\nre-run `repro-tom campaign run {args.spec}` to retry the "
+            f"{len(report.failed_points)} unanswered point(s)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .campaign import CampaignService
+
+    CampaignService(host=args.host, port=args.port).run()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     # Export the engine choice before any simulation is constructed so
@@ -367,6 +483,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "inspect": _cmd_inspect,
             "report": _cmd_report,
             "bundle": _cmd_bundle,
+            "campaign": _cmd_campaign,
+            "serve": _cmd_serve,
         }[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -30,7 +30,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
 from ..errors import ConfigError
@@ -99,19 +99,27 @@ class RunManifest:
         except OSError:
             pass
 
-    def record(self, key: str, outcome: JobOutcome) -> None:
-        """Append one job outcome (streamed: called as each job lands)."""
+    def record(
+        self, key: str, outcome: JobOutcome, extra: Optional[Dict] = None
+    ) -> None:
+        """Append one job outcome (streamed: called as each job lands).
+
+        ``extra`` merges additional identifying fields into the entry —
+        the campaign driver records scale/seed/config name per entry so
+        a multi-grid campaign manifest stays human-readable — without
+        overriding the structural fields written here."""
         from ..analysis.export import result_to_dict  # lazy: core<->analysis
 
-        entry: Dict = {
-            "kind": "job",
-            "key": key,
-            "workload": outcome.job.workload,
-            "policies": [policy.label for policy in outcome.job.policies],
-            "status": "ok" if outcome.ok else "failed",
-            "attempts": outcome.attempts,
-            "elapsed": round(outcome.elapsed, 6),
-        }
+        entry: Dict = dict(extra) if extra else {}
+        entry.update(
+            kind="job",
+            key=key,
+            workload=outcome.job.workload,
+            policies=[policy.label for policy in outcome.job.policies],
+            status="ok" if outcome.ok else "failed",
+            attempts=outcome.attempts,
+            elapsed=round(outcome.elapsed, 6),
+        )
         if outcome.ok and outcome.results is not None:
             entry["results"] = {
                 label: result_to_dict(result)
@@ -131,18 +139,21 @@ class RunManifest:
         self.close()
 
 
-def load_manifest(path) -> Tuple[Optional[Dict], Dict[str, Dict]]:
-    """Read a manifest back: ``(header, {job_key: last entry})``.
+def load_manifest_entries(path) -> Tuple[Optional[Dict], List[Dict]]:
+    """Read a manifest back as ``(header, [job entries in file order])``.
 
     Unparseable lines (the truncated tail a crash can leave) are
-    skipped; later entries for the same key replace earlier ones, so a
-    point that failed and was then re-run successfully reads as ok.
+    skipped. Every job entry is returned — including superseded ones —
+    so callers that need finer-than-entry merge semantics (the campaign
+    driver restores per-*policy* results across entries whose pending
+    sets differed) can fold the sequence themselves;
+    :func:`load_manifest` applies the standard last-entry-wins fold.
     """
     path = Path(path)
     if not path.exists():
         raise ConfigError(f"manifest {path} does not exist")
     header: Optional[Dict] = None
-    entries: Dict[str, Dict] = {}
+    entries: List[Dict] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -158,7 +169,20 @@ def load_manifest(path) -> Tuple[Optional[Dict], Dict[str, Dict]]:
             if kind == "manifest" and header is None:
                 header = payload
             elif kind == "job" and isinstance(payload.get("key"), str):
-                entries[payload["key"]] = payload
+                entries.append(payload)
+    return header, entries
+
+
+def load_manifest(path) -> Tuple[Optional[Dict], Dict[str, Dict]]:
+    """Read a manifest back: ``(header, {job_key: last entry})``.
+
+    Later entries for the same key replace earlier ones, so a point
+    that failed and was then re-run successfully reads as ok.
+    """
+    header, ordered = load_manifest_entries(path)
+    entries: Dict[str, Dict] = {}
+    for payload in ordered:
+        entries[payload["key"]] = payload
     return header, entries
 
 

@@ -85,3 +85,21 @@ FIGURE8_GRID = (
     NDP_CTRL_BMAP,
     NDP_CTRL_TMAP,
 )
+
+#: Every named policy, and the label -> policy registry the CLI and the
+#: campaign layer resolve user-supplied labels through. Labels are the
+#: canonical external names (``baseline``, ``ctrl+tmap``, ...); keep
+#: this the single source of truth so a campaign spec, the CLI
+#: ``--policy`` choices, and the service API can never disagree.
+ALL_POLICIES = (
+    BASELINE,
+    NDP_NOCTRL_BMAP,
+    NDP_NOCTRL_TMAP,
+    NDP_CTRL_BMAP,
+    NDP_CTRL_TMAP,
+    IDEAL_NDP,
+    NDP_CTRL_ORACLE,
+    NDP_NOCTRL_ORACLE,
+)
+
+POLICIES_BY_LABEL = {policy.label: policy for policy in ALL_POLICIES}

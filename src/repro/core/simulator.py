@@ -42,6 +42,7 @@ from ..compiler.metadata import MetadataEntry
 from ..config import SystemConfig
 from ..energy.model import EnergyModel
 from ..errors import SimulationError
+from ..guard import check_simulation_allowed
 from ..gpu.sm import StreamingMultiprocessor
 from ..gpu.warp import CandidateSegment, Segment, WarpAccess, WarpTask
 from ..mapping.transparent import TransparentDataMapping, learn_offline
@@ -61,6 +62,13 @@ from .results import OffloadSummary, SimulationResult
 from .system import NDPSystem
 
 _L2_HIT_LATENCY = 30.0
+
+#: Process-local count of simulations actually executed (the lockstep
+#: grid's lane simulators subclass :class:`Simulator`, so lanes count
+#: too). The campaign skip tests assert this stays at zero on a warm
+#: re-run; like :data:`repro.core.result_cache.stats` it never crosses
+#: process boundaries, so run serially (``REPRO_JOBS=1``) to observe it.
+stats = {"runs": 0}
 
 
 class Simulator:
@@ -157,6 +165,8 @@ class Simulator:
     def run(self) -> SimulationResult:
         if self._finished:
             raise SimulationError("a Simulator instance runs exactly once")
+        check_simulation_allowed("Simulator.run")
+        stats["runs"] += 1
         self._finished = True
         engine = self.system.engine
         # The event loop allocates millions of short-lived objects, many

@@ -25,6 +25,7 @@ from ..compiler.metadata import OffloadMetadataTable
 from ..config import SystemConfig
 from ..errors import TraceError
 from ..gpu.coalescer import Coalescer
+from ..guard import check_simulation_allowed
 from ..gpu.warp import CandidateSegment, PlainSegment, WarpAccess, WarpTask
 from ..isa.kernel import Kernel
 from ..memory.allocation import MemoryAllocationTable
@@ -162,6 +163,7 @@ def build_trace(
     seed: int = 0,
 ) -> WorkloadTrace:
     """Generate the full trace for one workload."""
+    check_simulation_allowed("build_trace")
     kernel = model.build_kernel()
     selection = select_candidates(
         kernel, config.compiler, config.messages, config.gpu.warp_size
